@@ -1,0 +1,28 @@
+// Command claims verifies the paper's qualitative claims (C1–C7 in
+// DESIGN.md) against the simulation and prints a PASS/FAIL report.
+//
+// Usage:
+//
+//	claims                 # full scale (slow: up to 512 nodes)
+//	claims -maxnodes 64    # capped scale (thresholds still apply)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gat/internal/bench"
+)
+
+func main() {
+	maxNodes := flag.Int("maxnodes", 0, "cap the node counts used by the checks (0 = paper scale)")
+	iters := flag.Int("iters", 0, "timed iterations per run (0 = default 10)")
+	flag.Parse()
+	opt := bench.Options{MaxNodes: *maxNodes, Iters: *iters}
+	if !bench.CheckClaims(opt, os.Stdout) {
+		fmt.Println("\nsome claims FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("\nall claims PASS")
+}

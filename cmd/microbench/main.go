@@ -1,0 +1,109 @@
+// Command microbench measures the simulator's communication and device
+// primitives the way osu_latency/osu_bw measure a real cluster: one-way
+// latency and effective bandwidth for every transfer path, and the
+// device-side launch/copy overheads. Use it to sanity-check the cost
+// model against the calibration targets in DESIGN.md §5.
+//
+// Usage: microbench
+package main
+
+import (
+	"fmt"
+
+	"gat/internal/gpu"
+	"gat/internal/machine"
+	"gat/internal/netsim"
+	"gat/internal/sim"
+)
+
+func main() {
+	fmt.Println("== transfer paths: one-way delivery time (inter-node) ==")
+	fmt.Printf("%-10s %14s %14s %14s %14s\n", "size", "host", "gpudirect", "staged", "pipelined")
+	for p := 10; p <= 24; p += 2 {
+		bytes := int64(1) << p
+		host := pathTime(bytes, func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+			return m.Net.Transfer(0, 1, bytes, ready)
+		})
+		direct := pathTime(bytes, func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+			return m.Net.TransferGPUDirect(0, 1, bytes, ready)
+		})
+		staged := pathTime(bytes, func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+			return m.Net.StagedTransfer(m.GPUOf(0), m.GPUOf(6), 0, 1, bytes, ready)
+		})
+		piped := pathTime(bytes, func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+			return m.Net.PipelinedStagedTransfer(m.GPUOf(0), m.GPUOf(6), 0, 1, bytes,
+				m.Cfg.Net.PipelineChunkSize, ready)
+		})
+		fmt.Printf("%-10s %14v %14v %14v %14v\n", size(bytes), host, direct, staged, piped)
+	}
+
+	fmt.Println("\n== effective bandwidth at 16 MiB (GB/s) ==")
+	bytes := int64(16) << 20
+	for _, row := range []struct {
+		name string
+		f    func(m *machine.Machine, ready *sim.Signal) *sim.Signal
+	}{
+		{"host", func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+			return m.Net.Transfer(0, 1, bytes, ready)
+		}},
+		{"gpudirect", func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+			return m.Net.TransferGPUDirect(0, 1, bytes, ready)
+		}},
+		{"pipelined", func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+			return m.Net.PipelinedStagedTransfer(m.GPUOf(0), m.GPUOf(6), 0, 1, bytes,
+				m.Cfg.Net.PipelineChunkSize, ready)
+		}},
+		{"intra-node", func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+			return m.Net.Transfer(0, 0, bytes, ready)
+		}},
+	} {
+		t := pathTime(bytes, row.f)
+		fmt.Printf("  %-12s %6.1f GB/s\n", row.name, float64(bytes)/t.Seconds()/1e9)
+	}
+
+	fmt.Println("\n== device primitives (V100 model) ==")
+	cfg := gpu.V100()
+	fmt.Printf("  kernel launch (host)    %v\n", cfg.KernelLaunchHost)
+	fmt.Printf("  kernel dispatch (dev)   %v\n", cfg.KernelDispatch)
+	fmt.Printf("  async copy call (host)  %v\n", cfg.CopyLaunchHost)
+	fmt.Printf("  graph launch (host)     %v + %v/node\n", cfg.GraphLaunchHost, cfg.GraphNodeHost)
+	fmt.Printf("  graph dispatch (dev)    %v/node\n", cfg.GraphNodeDispatch)
+	fmt.Printf("  stream sync (host)      %v\n", cfg.SyncOverhead)
+	fmt.Printf("  HBM2 roofline           %.0f GB/s\n", cfg.MemBandwidth/1e9)
+	fmt.Printf("  host link (per engine)  %.0f GB/s\n", cfg.CopyBandwidth/1e9)
+
+	fmt.Println("\n== kernel time scaling (roofline) ==")
+	e := sim.NewEngine()
+	d := gpu.New(e, "v100", cfg)
+	for _, cells := range []int64{1 << 18, 1 << 21, 1 << 24, 1 << 27, 603979776} {
+		fmt.Printf("  %11d cells  update %v\n", cells, d.KernelTime(cells*24))
+	}
+
+	fmt.Println("\n== network config (Summit EDR fat tree) ==")
+	ncfg := netsim.Summit()
+	fmt.Printf("  base latency            %v (+%v/hop)\n", ncfg.LatencyBase, ncfg.LatencyPerHop)
+	fmt.Printf("  injection bandwidth     %.0f GB/s\n", ncfg.InjectionBW/1e9)
+	fmt.Printf("  rendezvous threshold    %d KiB\n", ncfg.RendezvousThreshold>>10)
+	fmt.Printf("  pipeline chunk          %d MiB + %v/chunk\n",
+		ncfg.PipelineChunkSize>>20, ncfg.PipelineChunkOverhead)
+}
+
+// pathTime measures one delivery on a fresh 2-node machine.
+func pathTime(bytes int64, f func(m *machine.Machine, ready *sim.Signal) *sim.Signal) sim.Time {
+	m := machine.New(machine.Summit(2))
+	var at sim.Time
+	f(m, sim.FiredSignal()).OnFire(m.Eng, func() { at = m.Eng.Now() })
+	m.Eng.Run()
+	return at
+}
+
+func size(bytes int64) string {
+	switch {
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%dMiB", bytes>>20)
+	case bytes >= 1<<10:
+		return fmt.Sprintf("%dKiB", bytes>>10)
+	default:
+		return fmt.Sprintf("%dB", bytes)
+	}
+}

@@ -1,0 +1,64 @@
+// Command sweep regenerates the paper's figures on the simulated
+// machine. Each figure id (fig6a..fig9b) maps to one experiment from
+// the per-experiment index in DESIGN.md.
+//
+// Usage:
+//
+//	sweep -fig fig7c                # one figure, full node range
+//	sweep -fig all -maxnodes 64     # everything, capped sweep
+//	sweep -fig fig7a -csv           # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gat/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id (fig6a, fig6b, fig7a, fig7b, fig7c, fig8a, fig8b, fig9a, fig9b) or 'all'")
+	maxNodes := flag.Int("maxnodes", 0, "cap the node sweep (0 = paper's full range)")
+	iters := flag.Int("iters", 0, "timed iterations per run (0 = default 10)")
+	warmup := flag.Int("warmup", 0, "warm-up iterations per run (0 = default 3)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	verbose := flag.Bool("v", false, "print per-run progress to stderr")
+	flag.Parse()
+
+	opt := bench.Options{MaxNodes: *maxNodes, Iters: *iters, Warmup: *warmup}
+	if *verbose {
+		opt.Verbose = os.Stderr
+	}
+
+	var ids []string
+	switch *fig {
+	case "all":
+		for _, g := range bench.Generators() {
+			ids = append(ids, g.ID)
+		}
+	case "ablations":
+		for _, g := range bench.AblationGenerators() {
+			ids = append(ids, g.ID)
+		}
+	default:
+		ids = []string{*fig}
+	}
+
+	for _, id := range ids {
+		f, err := bench.GenerateAny(id, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *csv {
+			if err := f.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			f.WriteTable(os.Stdout)
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+
+	"gat/internal/comm"
+	"gat/internal/jacobi"
+	"gat/internal/machine"
+	"gat/internal/sim"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out:
+// stream priorities (§III-A), the Channel API vs the older GPU
+// Messaging API (§II-B), and the manual-overlap option of the MPI
+// variant (Fig 1b). These have no paper figure; they quantify how much
+// each mechanism contributes in our reproduction.
+
+// AblationGenerators returns the ablation figure generators.
+func AblationGenerators() []Generator {
+	return []Generator{
+		{"abl-priority", "Ablation: high-priority communication streams on/off (Charm-D ODF-4)", ablPriority},
+		{"abl-overlap", "Ablation: manual interior/exterior overlap in MPI (Fig 1b option)", ablOverlap},
+		{"abl-chanapi", "Ablation: Channel API vs GPU Messaging API one-way latency", ablChannelAPI},
+		{"abl-odf", "Ablation: ODF sensitivity of Charm-H and Charm-D (strong scaling point)", ablODF},
+	}
+}
+
+// ablODF sweeps the overdecomposition factor at a fixed strong-scaling
+// point, the sensitivity behind the paper's per-point best-ODF choice
+// (§IV-A). The x column holds the ODF instead of a node count.
+func ablODF(opt Options) Figure {
+	// 3072^3 needs >= 8 nodes to fit in 16 GB per GPU (two grid copies),
+	// which is also why the paper's strong scaling starts at 8 nodes.
+	nodes := scaleNodes(32, opt)
+	if nodes < 8 {
+		nodes = 8
+	}
+	h := Series{Name: "Charm-H"}
+	d := Series{Name: "Charm-D"}
+	for _, odf := range []int{1, 2, 4, 8, 16} {
+		cfg := opt.cfg(strongGlobal)
+		rh := jacobi.RunCharm(machine.New(machine.Summit(nodes)), cfg,
+			jacobi.CharmOpts{ODF: odf}.Optimized())
+		rd := jacobi.RunCharm(machine.New(machine.Summit(nodes)), cfg,
+			jacobi.CharmOpts{ODF: odf, GPUAware: true}.Optimized())
+		h.Points = append(h.Points, Point{Nodes: odf, Value: ms(rh.TimePerIter)})
+		d.Points = append(d.Points, Point{Nodes: odf, Value: ms(rd.TimePerIter)})
+		opt.progress("abl-odf odf=%d charmH=%v charmD=%v", odf, rh.TimePerIter, rd.TimePerIter)
+	}
+	return Figure{ID: "abl-odf", Title: fmt.Sprintf("ODF sensitivity, 3072^3 on %d nodes", nodes),
+		XLabel: "odf", YLabel: "time/iter (ms)", Series: []Series{h, d}}
+}
+
+// GenerateAny resolves both paper figures and ablations.
+func GenerateAny(id string, opt Options) (Figure, error) {
+	for _, g := range append(Generators(), AblationGenerators()...) {
+		if g.ID == id {
+			return g.Run(opt), nil
+		}
+	}
+	return Figure{}, fmt.Errorf("bench: unknown figure %q", id)
+}
+
+// ablPriority compares Charm-D with and without high-priority streams
+// for packing and transfers, strong scaling a 768^3 grid.
+func ablPriority(opt Options) Figure {
+	with := Series{Name: "PriorityStreams"}
+	flat := Series{Name: "FlatPriority"}
+	for _, n := range nodeSweep(1, 32, opt) {
+		cfg := opt.cfg(fusionGlobal)
+		w := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg,
+			jacobi.CharmOpts{ODF: 4, GPUAware: true}.Optimized())
+		f := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg,
+			jacobi.CharmOpts{ODF: 4, GPUAware: true, FlatPriority: true}.Optimized())
+		with.Points = append(with.Points, Point{Nodes: n, Value: us(w.TimePerIter)})
+		flat.Points = append(flat.Points, Point{Nodes: n, Value: us(f.TimePerIter)})
+		opt.progress("abl-priority nodes=%d with=%v flat=%v", n, w.TimePerIter, f.TimePerIter)
+	}
+	return Figure{ID: "abl-priority", Title: "High-priority communication streams on/off",
+		XLabel: "nodes", YLabel: "time/iter (us)", Series: []Series{with, flat}}
+}
+
+// ablOverlap compares the MPI variant with and without the manual
+// interior/exterior overlap of Fig 1b, weak scaling the large problem.
+func ablOverlap(opt Options) Figure {
+	off := Series{Name: "NoOverlap"}
+	on := Series{Name: "ManualOverlap"}
+	for _, n := range nodeSweep(1, 32, opt) {
+		cfg := opt.cfg(weakGlobal(weakBaseLarge, n))
+		o := jacobi.RunMPI(machine.New(machine.Summit(n)), cfg, jacobi.MPIOpts{})
+		v := jacobi.RunMPI(machine.New(machine.Summit(n)), cfg, jacobi.MPIOpts{Overlap: true})
+		off.Points = append(off.Points, Point{Nodes: n, Value: ms(o.TimePerIter)})
+		on.Points = append(on.Points, Point{Nodes: n, Value: ms(v.TimePerIter)})
+		opt.progress("abl-overlap nodes=%d off=%v on=%v", n, o.TimePerIter, v.TimePerIter)
+	}
+	return Figure{ID: "abl-overlap", Title: "Manual overlap in MPI Jacobi3D",
+		XLabel: "nodes", YLabel: "time/iter (ms)", Series: []Series{off, on}}
+}
+
+// ablChannelAPI measures one-way inter-node delivery latency of a
+// device buffer under the Channel API vs the GPU Messaging API across
+// message sizes. The x column holds log2(bytes) instead of nodes.
+func ablChannelAPI(opt Options) Figure {
+	channel := Series{Name: "ChannelAPI"}
+	messaging := Series{Name: "MessagingAPI"}
+	for p := 10; p <= 24; p += 2 {
+		bytes := int64(1) << p
+
+		mc := machine.New(machine.Summit(2))
+		ch := comm.NewChannel(mc.Net,
+			comm.Endpoint{Proc: 0, Node: 0}, comm.Endpoint{Proc: 1, Node: 1})
+		var chAt sim.Time
+		ch.Recv(1, 0, func() { chAt = mc.Eng.Now() })
+		ch.Send(0, 0, bytes, sim.FiredSignal(), nil)
+		mc.Eng.Run()
+
+		mm := machine.New(machine.Summit(2))
+		var msgAt sim.Time
+		comm.MessagingSend(mm.Net, comm.DefaultMessagingConfig(),
+			comm.Endpoint{Proc: 0, Node: 0}, comm.Endpoint{Proc: 1, Node: 1},
+			bytes, sim.FiredSignal(), func() { msgAt = mm.Eng.Now() })
+		mm.Eng.Run()
+
+		channel.Points = append(channel.Points, Point{Nodes: p, Value: us(chAt)})
+		messaging.Points = append(messaging.Points, Point{Nodes: p, Value: us(msgAt)})
+		opt.progress("abl-chanapi 2^%d bytes: channel=%v messaging=%v", p, chAt, msgAt)
+	}
+	return Figure{ID: "abl-chanapi", Title: "Channel API vs GPU Messaging API",
+		XLabel: "log2B", YLabel: "one-way latency (us)", Series: []Series{channel, messaging}}
+}

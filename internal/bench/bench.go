@@ -1,0 +1,230 @@
+// Package bench is the experiment harness: one generator per figure of
+// the paper's evaluation (§IV), each reproducing the figure's series —
+// workload, parameter sweep, baselines — on the simulated machine and
+// emitting the same rows the paper plots.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gat/internal/jacobi"
+	"gat/internal/machine"
+	"gat/internal/sim"
+)
+
+// Options tunes a figure generation run.
+type Options struct {
+	// MaxNodes caps the node-count sweep (0 = the paper's full range).
+	MaxNodes int
+	// Warmup and Iters override the iteration counts (0 = defaults:
+	// 3 warm-up, 10 timed).
+	Warmup, Iters int
+	// Verbose, if non-nil, receives progress lines.
+	Verbose io.Writer
+}
+
+func (o Options) cfg(global [3]int) jacobi.Config {
+	return jacobi.Config{Global: global, Warmup: o.Warmup, Iters: o.Iters}.DefaultIterations()
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Verbose != nil {
+		fmt.Fprintf(o.Verbose, format+"\n", args...)
+	}
+}
+
+// Point is one measured value in a series.
+type Point struct {
+	// Nodes is the x coordinate.
+	Nodes int
+	// Value is the y value: time per iteration for the timing figures,
+	// a dimensionless ratio for the speedup figures.
+	Value float64
+	// Meta annotates the point (e.g. the best ODF chosen).
+	Meta string
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is one reproduced figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Generator builds one figure.
+type Generator struct {
+	ID    string
+	Title string
+	Run   func(Options) Figure
+}
+
+// Generators returns all figure generators in publication order.
+func Generators() []Generator {
+	return []Generator{
+		{"fig6a", "Weak scaling 1536^3/node: Charm-H before vs after optimizations", fig6a},
+		{"fig6b", "Strong scaling 3072^3: Charm-H before vs after optimizations", fig6b},
+		{"fig7a", "Weak scaling 1536^3/node: MPI-H, MPI-D, Charm-H, Charm-D", fig7a},
+		{"fig7b", "Weak scaling 192^3/node: MPI-H, MPI-D, Charm-H, Charm-D", fig7b},
+		{"fig7c", "Strong scaling 3072^3: MPI-H, MPI-D, Charm-H, Charm-D", fig7c},
+		{"fig8a", "Kernel fusion, strong scaling 768^3, ODF-1", fig8a},
+		{"fig8b", "Kernel fusion, strong scaling 768^3, ODF-8", fig8b},
+		{"fig9a", "CUDA-graph speedup vs fusion, ODF-1", fig9a},
+		{"fig9b", "CUDA-graph speedup vs fusion, ODF-8", fig9b},
+	}
+}
+
+// Generate runs the generator with the given id.
+func Generate(id string, opt Options) (Figure, error) {
+	for _, g := range Generators() {
+		if g.ID == id {
+			return g.Run(opt), nil
+		}
+	}
+	return Figure{}, fmt.Errorf("bench: unknown figure %q", id)
+}
+
+// nodeSweep returns the geometric node-count range [lo..hi] capped by
+// opt.MaxNodes. A cap below lo still yields the single point lo, so a
+// figure never comes back empty.
+func nodeSweep(lo, hi int, opt Options) []int {
+	var out []int
+	for n := lo; n <= hi; n *= 2 {
+		if opt.MaxNodes > 0 && n > opt.MaxNodes && len(out) > 0 {
+			break
+		}
+		out = append(out, n)
+		if opt.MaxNodes > 0 && n > opt.MaxNodes {
+			break
+		}
+	}
+	return out
+}
+
+// weakGlobal grows the base per-node grid with the node count, doubling
+// one dimension per node doubling (z, then y, then x), matching §IV-B.
+func weakGlobal(base [3]int, nodes int) [3]int {
+	g := base
+	axis := 2
+	for f := nodes; f > 1; f /= 2 {
+		g[axis] *= 2
+		axis--
+		if axis < 0 {
+			axis = 2
+		}
+	}
+	return g
+}
+
+// bestODF runs the Charm variant over the candidate ODFs and returns
+// the fastest result, as the paper does for every Charm data point
+// (§IV-A: "the one with the best performance is chosen").
+func bestODF(cfg jacobi.Config, nodes int, base jacobi.CharmOpts, odfs []int) (jacobi.Result, int) {
+	var best jacobi.Result
+	bestODF := 0
+	for _, odf := range odfs {
+		m := machine.New(machine.Summit(nodes))
+		opts := base
+		opts.ODF = odf
+		r := jacobi.RunCharm(m, cfg, opts)
+		if bestODF == 0 || r.TimePerIter < best.TimePerIter {
+			best, bestODF = r, odf
+		}
+	}
+	return best, bestODF
+}
+
+// odfCandidates returns the ODF search set, trimmed at large node
+// counts where high ODFs are both slow to simulate and never optimal
+// (§IV-C shows the best ODF falls as scale rises).
+func odfCandidates(nodes int) []int {
+	switch {
+	case nodes <= 16:
+		return []int{1, 2, 4, 8, 16}
+	case nodes <= 64:
+		return []int{1, 2, 4, 8}
+	default:
+		return []int{1, 2, 4}
+	}
+}
+
+// ms converts simulated time to milliseconds for figure values.
+func ms(t sim.Time) float64 { return t.Millis() }
+
+// us converts simulated time to microseconds for figure values.
+func us(t sim.Time) float64 { return t.Micros() }
+
+// WriteTable renders the figure as an aligned text table.
+func (f Figure) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "# y: %s\n", f.YLabel)
+	xs := f.xValues()
+	fmt.Fprintf(w, "%-8s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%16s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xs {
+		fmt.Fprintf(w, "%-8d", x)
+		for _, s := range f.Series {
+			if p, ok := s.at(x); ok {
+				cell := fmt.Sprintf("%.3f", p.Value)
+				if p.Meta != "" {
+					cell += " (" + p.Meta + ")"
+				}
+				fmt.Fprintf(w, "%16s", cell)
+			} else {
+				fmt.Fprintf(w, "%16s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV renders the figure as CSV rows (figure,series,nodes,value,meta).
+func (f Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,series,nodes,value,meta"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%g,%s\n", f.ID, s.Name, p.Nodes, p.Value, p.Meta); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (f Figure) xValues() []int {
+	seen := map[int]bool{}
+	var xs []int
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.Nodes] {
+				seen[p.Nodes] = true
+				xs = append(xs, p.Nodes)
+			}
+		}
+	}
+	sort.Ints(xs)
+	return xs
+}
+
+func (s Series) at(x int) (Point, bool) {
+	for _, p := range s.Points {
+		if p.Nodes == x {
+			return p, true
+		}
+	}
+	return Point{}, false
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"gat/internal/jacobi"
+)
+
+func base() jacobi.CharmOpts { return jacobi.CharmOpts{GPUAware: true} }
+
+// quickOpt keeps generator tests fast: tiny sweeps, few iterations.
+func quickOpt() Options {
+	return Options{MaxNodes: 2, Warmup: 1, Iters: 3}
+}
+
+func TestAllGeneratorsProduceSeries(t *testing.T) {
+	for _, g := range Generators() {
+		fig := g.Run(quickOpt())
+		if fig.ID != g.ID {
+			t.Errorf("%s: figure id mismatch: %q", g.ID, fig.ID)
+		}
+		if len(fig.Series) == 0 {
+			t.Errorf("%s: no series", g.ID)
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) == 0 {
+				t.Errorf("%s/%s: no points", g.ID, s.Name)
+			}
+			for _, p := range s.Points {
+				if p.Value <= 0 {
+					t.Errorf("%s/%s: non-positive value at %d", g.ID, s.Name, p.Nodes)
+				}
+			}
+		}
+	}
+}
+
+func TestAblationGenerators(t *testing.T) {
+	for _, g := range AblationGenerators() {
+		fig := g.Run(quickOpt())
+		if len(fig.Series) != 2 {
+			t.Errorf("%s: want 2 series, got %d", g.ID, len(fig.Series))
+		}
+	}
+}
+
+func TestGenerateUnknownID(t *testing.T) {
+	if _, err := Generate("nope", quickOpt()); err == nil {
+		t.Fatal("unknown id should error")
+	}
+	if _, err := GenerateAny("nope", quickOpt()); err == nil {
+		t.Fatal("unknown id should error via GenerateAny")
+	}
+}
+
+func TestGenerateByID(t *testing.T) {
+	fig, err := Generate("fig7b", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("fig7b should have 4 variant series, got %d", len(fig.Series))
+	}
+}
+
+func TestWeakGlobalGrowth(t *testing.T) {
+	base := [3]int{100, 100, 100}
+	cases := []struct {
+		nodes int
+		want  [3]int
+	}{
+		{1, [3]int{100, 100, 100}},
+		{2, [3]int{100, 100, 200}},
+		{4, [3]int{100, 200, 200}},
+		{8, [3]int{200, 200, 200}},
+		{64, [3]int{400, 400, 400}},
+	}
+	for _, c := range cases {
+		if got := weakGlobal(base, c.nodes); got != c.want {
+			t.Errorf("weakGlobal(%d) = %v, want %v", c.nodes, got, c.want)
+		}
+	}
+}
+
+func TestWeakScalingMatchesStrongAtEight(t *testing.T) {
+	// §IV-C: the 3072^3 strong-scaling grid equals the weak-scaling
+	// global grid at 8 nodes.
+	if got := weakGlobal(weakBaseLarge, 8); got != strongGlobal {
+		t.Fatalf("weakGlobal(1536^3, 8) = %v, want %v", got, strongGlobal)
+	}
+}
+
+func TestNodeSweepCap(t *testing.T) {
+	got := nodeSweep(1, 512, Options{MaxNodes: 8})
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("sweep = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestODFCandidatesShrinkWithScale(t *testing.T) {
+	if len(odfCandidates(8)) <= len(odfCandidates(512)) {
+		t.Fatal("ODF search set should shrink at large node counts")
+	}
+}
+
+func TestTableAndCSVOutput(t *testing.T) {
+	fig, err := Generate("fig7b", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl strings.Builder
+	fig.WriteTable(&tbl)
+	for _, want := range []string{"fig7b", "MPI-H", "Charm-D", "nodes"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+	var csv strings.Builder
+	if err := fig.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "figure,series,nodes,value,meta") {
+		t.Fatal("CSV header missing")
+	}
+	lines := strings.Count(csv.String(), "\n")
+	if lines < 5 {
+		t.Fatalf("CSV too short: %d lines", lines)
+	}
+}
+
+func TestBestODFPicksMinimum(t *testing.T) {
+	cfg := quickOpt().cfg([3]int{192, 192, 192})
+	candidates := []int{1, 2, 4}
+	best, odf := bestODF(cfg, 1, base().Optimized(), candidates)
+	found := false
+	for _, c := range candidates {
+		if odf == c {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bestODF returned ODF %d outside candidates", odf)
+	}
+	// Re-running the winning ODF must reproduce its time (determinism
+	// of the selection).
+	again, odf2 := bestODF(cfg, 1, base().Optimized(), []int{odf})
+	if odf2 != odf || again.TimePerIter != best.TimePerIter {
+		t.Fatalf("bestODF not reproducible: %v/%d vs %v/%d",
+			best.TimePerIter, odf, again.TimePerIter, odf2)
+	}
+}

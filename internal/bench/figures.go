@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+
+	"gat/internal/jacobi"
+	"gat/internal/machine"
+)
+
+var weakBaseLarge = [3]int{1536, 1536, 1536}
+var weakBaseSmall = [3]int{192, 192, 192}
+var strongGlobal = [3]int{3072, 3072, 3072}
+var fusionGlobal = [3]int{768, 768, 768}
+
+// fig6a: weak scaling of Charm-H with ODF-4, before vs after the
+// §III-C synchronization/stream optimizations.
+func fig6a(opt Options) Figure {
+	return fig6(opt, true)
+}
+
+// fig6b: the strong-scaling companion of fig6a.
+func fig6b(opt Options) Figure {
+	return fig6(opt, false)
+}
+
+func fig6(opt Options, weak bool) Figure {
+	id, title := "fig6a", "Weak scaling 1536^3/node: Charm-H before vs after optimizations"
+	lo := 1
+	if !weak {
+		id, title = "fig6b", "Strong scaling 3072^3: Charm-H before vs after optimizations"
+		lo = 8
+	}
+	before := Series{Name: "Before"}
+	after := Series{Name: "After"}
+	for _, n := range nodeSweep(lo, 512, opt) {
+		global := strongGlobal
+		if weak {
+			global = weakGlobal(weakBaseLarge, n)
+		}
+		cfg := opt.cfg(global)
+		b := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg, jacobi.CharmOpts{ODF: 4})
+		a := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg, jacobi.CharmOpts{ODF: 4}.Optimized())
+		before.Points = append(before.Points, Point{Nodes: n, Value: ms(b.TimePerIter)})
+		after.Points = append(after.Points, Point{Nodes: n, Value: ms(a.TimePerIter)})
+		opt.progress("%s nodes=%d before=%v after=%v", id, n, b.TimePerIter, a.TimePerIter)
+	}
+	return Figure{ID: id, Title: title, XLabel: "nodes", YLabel: "time/iter (ms)",
+		Series: []Series{before, after}}
+}
+
+// fourVariants runs MPI-H, MPI-D, Charm-H (best ODF), Charm-D (best
+// ODF) at one node count, the comparison repeated in every panel of
+// Fig 7.
+func fourVariants(opt Options, cfg jacobi.Config, n int, inUS bool) []Point {
+	conv := ms
+	if inUS {
+		conv = us
+	}
+	mpiH := jacobi.RunMPI(machine.New(machine.Summit(n)), cfg, jacobi.MPIOpts{})
+	mpiD := jacobi.RunMPI(machine.New(machine.Summit(n)), cfg, jacobi.MPIOpts{Device: true})
+	odfs := odfCandidates(n)
+	chH, odfH := bestODF(cfg, n, jacobi.CharmOpts{}.Optimized(), odfs)
+	chD, odfD := bestODF(cfg, n, jacobi.CharmOpts{GPUAware: true}.Optimized(), odfs)
+	opt.progress("nodes=%d mpiH=%v mpiD=%v charmH=%v(odf%d) charmD=%v(odf%d)",
+		n, mpiH.TimePerIter, mpiD.TimePerIter, chH.TimePerIter, odfH, chD.TimePerIter, odfD)
+	return []Point{
+		{Nodes: n, Value: conv(mpiH.TimePerIter)},
+		{Nodes: n, Value: conv(mpiD.TimePerIter)},
+		{Nodes: n, Value: conv(chH.TimePerIter), Meta: fmt.Sprintf("ODF-%d", odfH)},
+		{Nodes: n, Value: conv(chD.TimePerIter), Meta: fmt.Sprintf("ODF-%d", odfD)},
+	}
+}
+
+func variantFigure(opt Options, id, title, ylabel string, lo int, global func(int) [3]int, inUS bool) Figure {
+	series := []Series{{Name: "MPI-H"}, {Name: "MPI-D"}, {Name: "Charm-H"}, {Name: "Charm-D"}}
+	for _, n := range nodeSweep(lo, 512, opt) {
+		pts := fourVariants(opt, opt.cfg(global(n)), n, inUS)
+		for i := range series {
+			series[i].Points = append(series[i].Points, pts[i])
+		}
+	}
+	return Figure{ID: id, Title: title, XLabel: "nodes", YLabel: ylabel, Series: series}
+}
+
+// fig7a: weak scaling with the large base problem (1536^3 per node).
+func fig7a(opt Options) Figure {
+	return variantFigure(opt, "fig7a", "Weak scaling 1536^3/node: MPI-H, MPI-D, Charm-H, Charm-D",
+		"time/iter (ms)", 1, func(n int) [3]int { return weakGlobal(weakBaseLarge, n) }, false)
+}
+
+// fig7b: weak scaling with the small base problem (192^3 per node),
+// reported in microseconds.
+func fig7b(opt Options) Figure {
+	return variantFigure(opt, "fig7b", "Weak scaling 192^3/node: MPI-H, MPI-D, Charm-H, Charm-D",
+		"time/iter (us)", 1, func(n int) [3]int { return weakGlobal(weakBaseSmall, n) }, true)
+}
+
+// fig7c: strong scaling of the fixed 3072^3 grid.
+func fig7c(opt Options) Figure {
+	return variantFigure(opt, "fig7c", "Strong scaling 3072^3: MPI-H, MPI-D, Charm-H, Charm-D",
+		"time/iter (ms)", 8, func(int) [3]int { return strongGlobal }, false)
+}
+
+// fig8 runs the kernel-fusion comparison: Charm-D on a 768^3 grid
+// scaled to 128 nodes, at a fixed ODF.
+func fig8(opt Options, id string, odf int) Figure {
+	strategies := []struct {
+		name string
+		f    jacobi.Fusion
+	}{
+		{"Baseline", jacobi.FusionNone},
+		{"StrategyA", jacobi.FusionA},
+		{"StrategyB", jacobi.FusionB},
+		{"StrategyC", jacobi.FusionC},
+	}
+	series := make([]Series, len(strategies))
+	for i, s := range strategies {
+		series[i].Name = s.name
+	}
+	for _, n := range nodeSweep(1, 128, opt) {
+		cfg := opt.cfg(fusionGlobal)
+		for i, s := range strategies {
+			r := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg,
+				jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: s.f}.Optimized())
+			series[i].Points = append(series[i].Points, Point{Nodes: n, Value: ms(r.TimePerIter)})
+			opt.progress("%s nodes=%d fusion=%s t=%v", id, n, s.f, r.TimePerIter)
+		}
+	}
+	return Figure{ID: id, Title: fmt.Sprintf("Kernel fusion, 768^3, ODF-%d", odf),
+		XLabel: "nodes", YLabel: "time/iter (ms)", Series: series}
+}
+
+func fig8a(opt Options) Figure { return fig8(opt, "fig8a", 1) }
+func fig8b(opt Options) Figure { return fig8(opt, "fig8b", 8) }
+
+// fig9 measures the speedup from CUDA graphs under each fusion
+// strategy: speedup = t(no graphs) / t(graphs).
+func fig9(opt Options, id string, odf int) Figure {
+	strategies := []struct {
+		name string
+		f    jacobi.Fusion
+	}{
+		{"NoFusion", jacobi.FusionNone},
+		{"FusionA", jacobi.FusionA},
+		{"FusionB", jacobi.FusionB},
+		{"FusionC", jacobi.FusionC},
+	}
+	series := make([]Series, len(strategies))
+	for i, s := range strategies {
+		series[i].Name = s.name
+	}
+	for _, n := range nodeSweep(1, 128, opt) {
+		cfg := opt.cfg(fusionGlobal)
+		for i, s := range strategies {
+			base := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg,
+				jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: s.f}.Optimized())
+			graphed := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg,
+				jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: s.f, Graphs: true}.Optimized())
+			speedup := float64(base.TimePerIter) / float64(graphed.TimePerIter)
+			series[i].Points = append(series[i].Points, Point{Nodes: n, Value: speedup})
+			opt.progress("%s nodes=%d fusion=%s base=%v graphed=%v speedup=%.2f",
+				id, n, s.f, base.TimePerIter, graphed.TimePerIter, speedup)
+		}
+	}
+	return Figure{ID: id, Title: fmt.Sprintf("CUDA-graph speedup vs fusion, 768^3, ODF-%d", odf),
+		XLabel: "nodes", YLabel: "speedup (x)", Series: series}
+}
+
+func fig9a(opt Options) Figure { return fig9(opt, "fig9a", 1) }
+func fig9b(opt Options) Figure { return fig9(opt, "fig9b", 8) }

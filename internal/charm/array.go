@@ -1,0 +1,183 @@
+package charm
+
+import (
+	"fmt"
+
+	"gat/internal/sim"
+)
+
+// Index is a 3-D chare array index. 1-D and 2-D arrays use trailing
+// zeros.
+type Index [3]int
+
+func (ix Index) String() string { return fmt.Sprintf("(%d,%d,%d)", ix[0], ix[1], ix[2]) }
+
+// Msg is an entry-method invocation message.
+type Msg struct {
+	// Entry selects the registered entry method.
+	Entry int
+	// Ref is the SDAG reference number (the iteration in Jacobi3D).
+	Ref int
+	// Bytes is the payload size, which determines transfer and
+	// pack/unpack costs. Zero for control messages.
+	Bytes int64
+	// Data carries arbitrary model-level payload.
+	Data any
+}
+
+// EntryFn is one entry method: it runs to completion on the element's
+// PE with a Ctx accounting its host time.
+type EntryFn func(elem *Elem, ctx *Ctx, m Msg)
+
+// Elem is one element of a chare array.
+type Elem struct {
+	Arr   *Array
+	Idx   Index
+	Flat  int
+	State any
+	// Busy accumulates host time consumed by this element's entries.
+	Busy sim.Time
+	// GPULoad accumulates device time launched on behalf of this
+	// element. Busy + GPULoad is the load-balancing metric.
+	GPULoad sim.Time
+}
+
+// Load returns the element's total measured load (host + device).
+func (el *Elem) Load() sim.Time { return el.Busy + el.GPULoad }
+
+// PE returns the element's current PE id (elements migrate).
+func (el *Elem) PE() int { return el.Arr.peOf[el.Flat] }
+
+// Array is a chare array: an indexed collection of elements distributed
+// over PEs with a location manager.
+type Array struct {
+	rt      *Runtime
+	name    string
+	dims    [3]int
+	elems   []*Elem // ordered by flat index, for deterministic iteration
+	peOf    []int
+	entries []EntryFn
+
+	msgsSent uint64
+}
+
+// NewArray creates a dims[0]×dims[1]×dims[2] chare array with the given
+// entry methods, distributing elements to PEs with the default block
+// mapping (consecutive elements to each PE, as in Charm++). factory
+// builds each element's state.
+func NewArray(rt *Runtime, name string, dims [3]int, entries []EntryFn, factory func(Index) any) *Array {
+	n := dims[0] * dims[1] * dims[2]
+	if n <= 0 {
+		panic("charm: array needs positive dimensions")
+	}
+	a := &Array{rt: rt, name: name, dims: dims, entries: entries}
+	numPE := rt.NumPEs()
+	for flat := 0; flat < n; flat++ {
+		ix := a.Unflatten(flat)
+		el := &Elem{Arr: a, Idx: ix, Flat: flat, State: factory(ix)}
+		a.elems = append(a.elems, el)
+		// Block map: ceil(n/numPE)-sized contiguous chunks.
+		per := (n + numPE - 1) / numPE
+		a.peOf = append(a.peOf, flat/per)
+	}
+	rt.arrays = append(rt.arrays, a)
+	return a
+}
+
+// Name returns the array name.
+func (a *Array) Name() string { return a.name }
+
+// Dims returns the array dimensions.
+func (a *Array) Dims() [3]int { return a.dims }
+
+// Len returns the number of elements.
+func (a *Array) Len() int { return len(a.elems) }
+
+// MsgsSent returns the number of entry messages sent to this array.
+func (a *Array) MsgsSent() uint64 { return a.msgsSent }
+
+// Flatten converts an index to its flat position.
+func (a *Array) Flatten(ix Index) int {
+	return (ix[0]*a.dims[1]+ix[1])*a.dims[2] + ix[2]
+}
+
+// Unflatten converts a flat position to an index.
+func (a *Array) Unflatten(flat int) Index {
+	z := flat % a.dims[2]
+	y := (flat / a.dims[2]) % a.dims[1]
+	x := flat / (a.dims[1] * a.dims[2])
+	return Index{x, y, z}
+}
+
+// Elem returns the element at ix.
+func (a *Array) Elem(ix Index) *Elem { return a.elems[a.Flatten(ix)] }
+
+// Elems returns all elements in flat-index order.
+func (a *Array) Elems() []*Elem { return a.elems }
+
+// ElemsOnPE returns the elements currently mapped to PE pe, in flat
+// order.
+func (a *Array) ElemsOnPE(pe int) []*Elem {
+	var out []*Elem
+	for _, el := range a.elems {
+		if a.peOf[el.Flat] == pe {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// deliver enqueues the entry invocation at the element's PE. recvCost
+// covers scheduling, dispatch, and payload unpacking.
+func (a *Array) deliver(el *Elem, m Msg) {
+	rt := a.rt
+	pe := rt.PE(a.peOf[el.Flat])
+	cost := rt.Opt.SchedOverhead + rt.Opt.EntryOverhead + rt.payloadCost(m.Bytes)
+	label := fmt.Sprintf("%s.e%d", a.name, m.Entry)
+	pe.Enqueue(PrioNormal, cost, label, el, func(ctx *Ctx) {
+		a.entries[m.Entry](el, ctx, m)
+	})
+}
+
+// Send invokes entry m.Entry on element ix from within a running entry
+// method, charging the sender's host overhead (message allocation plus
+// payload packing) and routing the message through the machine: a
+// same-PE message is enqueued locally, a same-node message crosses the
+// intra-node path, and a remote message crosses the network.
+func (ctx *Ctx) Send(a *Array, ix Index, m Msg) {
+	rt := ctx.pe.rt
+	a.msgsSent++
+	ctx.clock += rt.Opt.MsgHostOverhead + rt.payloadCost(m.Bytes)
+	el := a.Elem(ix)
+	srcPE := ctx.pe.id
+	at := ctx.clock
+	eng := ctx.Engine()
+	eng.At(at, func() {
+		dstPE := a.peOf[el.Flat]
+		if dstPE == srcPE {
+			a.deliver(el, m)
+			return
+		}
+		srcNode := rt.M.NodeOf(srcPE)
+		dstNode := rt.M.NodeOf(dstPE)
+		size := m.Bytes + rt.Opt.Envelope
+		rt.M.Net.Transfer(srcNode, dstNode, size, sim.FiredSignal()).
+			OnFire(eng, func() { a.deliver(el, m) })
+	})
+}
+
+// Invoke delivers an entry invocation from driver code (outside any
+// entry method), modelling the main-chare broadcast that starts a
+// program. No sender-side cost is charged.
+func (a *Array) Invoke(ix Index, m Msg) {
+	a.msgsSent++
+	a.deliver(a.Elem(ix), m)
+}
+
+// Broadcast invokes the entry on every element, in flat order.
+func (a *Array) Broadcast(m Msg) {
+	for _, el := range a.elems {
+		a.msgsSent++
+		a.deliver(el, m)
+	}
+}

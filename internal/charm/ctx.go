@@ -1,0 +1,157 @@
+package charm
+
+import (
+	"gat/internal/gpu"
+	"gat/internal/sim"
+)
+
+// Ctx is the execution context of one entry-method invocation. It
+// accumulates the host time the handler consumes on its PE: every call
+// that costs CPU time advances the clock, and every side effect (kernel
+// enqueue, message injection) is scheduled at the clock value it would
+// occur at on real hardware. The PE stays busy until the final clock.
+type Ctx struct {
+	pe      *PE
+	elem    *Elem
+	clock   sim.Time
+	blockOn *sim.Signal
+}
+
+// PE returns the executing processing element.
+func (ctx *Ctx) PE() *PE { return ctx.pe }
+
+// Elem returns the chare element this invocation targets, or nil for
+// runtime callbacks.
+func (ctx *Ctx) Elem() *Elem { return ctx.elem }
+
+// Runtime returns the owning runtime.
+func (ctx *Ctx) Runtime() *Runtime { return ctx.pe.rt }
+
+// Engine returns the simulation engine.
+func (ctx *Ctx) Engine() *sim.Engine { return ctx.pe.rt.Engine() }
+
+// Clock returns the handler's current staggered completion time.
+func (ctx *Ctx) Clock() sim.Time { return ctx.clock }
+
+// Charge adds host compute time to the handler.
+func (ctx *Ctx) Charge(d sim.Time) {
+	if d > 0 {
+		ctx.clock += d
+	}
+}
+
+// Do schedules fn to run at the handler's current clock, after the host
+// work charged so far.
+func (ctx *Ctx) Do(fn func()) {
+	ctx.Engine().At(ctx.clock, fn)
+}
+
+// Block stalls the PE after this handler finishes until sig fires —
+// the cudaStreamSynchronize pattern. A blocked PE processes no messages,
+// which is exactly the lost overlap the paper's Fig 4 illustrates.
+func (ctx *Ctx) Block(sig *sim.Signal) {
+	ctx.blockOn = sig
+}
+
+// LaunchKernel charges the kernel launch host overhead and enqueues the
+// kernel on the stream at the staggered instant. It returns the kernel's
+// completion signal.
+func (ctx *Ctx) LaunchKernel(s *gpu.Stream, label string, dur sim.Time) *sim.Signal {
+	cfg := s.Device().Config()
+	ctx.clock += cfg.KernelLaunchHost
+	if ctx.elem != nil {
+		ctx.elem.GPULoad += dur
+	}
+	out := sim.NewSignal()
+	eng := ctx.Engine()
+	eng.At(ctx.clock, func() {
+		s.Kernel(label, dur).OnFire(eng, func() { out.Fire(eng) })
+	})
+	return out
+}
+
+// LaunchKernelBytes is LaunchKernel with a roofline-derived duration.
+func (ctx *Ctx) LaunchKernelBytes(s *gpu.Stream, label string, bytes int64) *sim.Signal {
+	return ctx.LaunchKernel(s, label, s.Device().KernelTime(bytes))
+}
+
+// EnqueueCopy charges the async-copy host overhead and enqueues a DMA
+// transfer, optionally gated on after (pass nil for no gate).
+func (ctx *Ctx) EnqueueCopy(s *gpu.Stream, dir gpu.CopyDir, bytes int64, after *sim.Signal) *sim.Signal {
+	cfg := s.Device().Config()
+	ctx.clock += cfg.CopyLaunchHost
+	out := sim.NewSignal()
+	eng := ctx.Engine()
+	eng.At(ctx.clock, func() {
+		if after != nil {
+			s.WaitSignal(after)
+		}
+		s.Copy(dir, bytes).OnFire(eng, func() { out.Fire(eng) })
+	})
+	return out
+}
+
+// LaunchGraph charges the graph launch host overhead and enqueues one
+// execution of g.
+func (ctx *Ctx) LaunchGraph(s *gpu.Stream, g *gpu.Graph) *sim.Signal {
+	cfg := s.Device().Config()
+	ctx.clock += cfg.GraphLaunchHost + sim.Time(g.Len())*cfg.GraphNodeHost
+	if ctx.elem != nil {
+		ctx.elem.GPULoad += g.TotalKernelTime()
+	}
+	out := sim.NewSignal()
+	eng := ctx.Engine()
+	eng.At(ctx.clock, func() {
+		s.Launch(g).OnFire(eng, func() { out.Fire(eng) })
+	})
+	return out
+}
+
+// GateStream makes subsequent work on s wait for sig, charging no host
+// time (the dependency is enforced on the device).
+func (ctx *Ctx) GateStream(s *gpu.Stream, sig *sim.Signal) {
+	eng := ctx.Engine()
+	eng.At(ctx.clock, func() { s.WaitSignal(sig) })
+}
+
+// HAPICallback registers fn to run as a high-priority PE task when all
+// work currently enqueued on the stream (as of the handler's staggered
+// clock) completes. This is the Hybrid API asynchronous completion
+// mechanism (§III-A): the PE keeps scheduling other chares while the
+// GPU works, and fn is delivered through the message queue like any
+// other task.
+func (ctx *Ctx) HAPICallback(s *gpu.Stream, label string, fn func(*Ctx)) {
+	rt := ctx.pe.rt
+	ctx.clock += rt.Opt.HAPIRegister
+	pe := ctx.pe
+	elem := ctx.elem
+	eng := ctx.Engine()
+	eng.At(ctx.clock, func() {
+		s.OnComplete(func() {
+			pe.Enqueue(PrioHigh, rt.Opt.SchedOverhead, label, elem, fn)
+		})
+	})
+}
+
+// Post enqueues fn as a task on this PE at the handler's staggered
+// clock — the self-message pattern for continuations.
+func (ctx *Ctx) Post(prio int, label string, fn func(*Ctx)) {
+	rt := ctx.pe.rt
+	pe := ctx.pe
+	elem := ctx.elem
+	ctx.Do(func() {
+		pe.Enqueue(prio, rt.Opt.SchedOverhead, label, elem, fn)
+	})
+}
+
+// CommCallback returns a plain closure suitable for comm.Channel
+// completion hooks: when invoked it enqueues fn as a high-priority task
+// on this chare's PE.
+func (ctx *Ctx) CommCallback(label string, fn func(*Ctx)) func() {
+	rt := ctx.pe.rt
+	pe := ctx.pe
+	elem := ctx.elem
+	return func() {
+		pe.Enqueue(PrioHigh, rt.Opt.SchedOverhead, label, elem, fn)
+	}
+}

@@ -1,0 +1,86 @@
+package charm
+
+// Gate implements the SDAG "when" construct with reference numbers
+// (§II-A): a chare element waits for a fixed number of message arrivals
+// carrying the current reference number; arrivals tagged with future
+// reference numbers are buffered until the element advances. This is
+// how Jacobi3D keeps neighbors exchanging halos from the same iteration
+// without any global synchronization.
+type Gate struct {
+	ref      int
+	need     int
+	got      int
+	open     bool
+	onDone   func(*Ctx)
+	buffered map[int][]func(*Ctx)
+}
+
+// NewGate returns a closed gate at reference number 0.
+func NewGate() *Gate {
+	return &Gate{buffered: make(map[int][]func(*Ctx))}
+}
+
+// Ref returns the gate's current reference number.
+func (g *Gate) Ref() int { return g.ref }
+
+// Pending returns the number of buffered future arrivals.
+func (g *Gate) Pending() int {
+	n := 0
+	for _, b := range g.buffered {
+		n += len(b)
+	}
+	return n
+}
+
+// Expect opens the gate for reference number ref, requiring need
+// arrivals; done runs (on the Ctx of the final arrival, or immediately
+// on ctx if buffered arrivals already satisfy the count) once all
+// arrivals are in. Arrivals buffered earlier for ref are replayed
+// immediately.
+func (g *Gate) Expect(ctx *Ctx, ref, need int, done func(*Ctx)) {
+	if g.open {
+		panic("charm: gate re-opened while open")
+	}
+	g.ref = ref
+	g.need = need
+	g.got = 0
+	g.onDone = done
+	g.open = true
+	for _, action := range g.buffered[ref] {
+		g.consume(ctx, action)
+		if !g.open {
+			break
+		}
+	}
+	delete(g.buffered, ref)
+}
+
+// Arrive delivers one arrival tagged ref; action runs when the arrival
+// is consumed (now if the gate is open at ref, or when the gate reaches
+// ref). Arrivals for past reference numbers panic: neighbors can run at
+// most one iteration ahead, so a stale arrival is a protocol bug.
+func (g *Gate) Arrive(ctx *Ctx, ref int, action func(*Ctx)) {
+	if g.open && ref == g.ref {
+		g.consume(ctx, action)
+		return
+	}
+	if ref < g.ref {
+		panic("charm: arrival for a past reference number")
+	}
+	g.buffered[ref] = append(g.buffered[ref], action)
+}
+
+func (g *Gate) consume(ctx *Ctx, action func(*Ctx)) {
+	if action != nil {
+		action(ctx)
+	}
+	g.got++
+	if g.got == g.need {
+		g.open = false
+		done := g.onDone
+		g.onDone = nil
+		if done != nil {
+			done(ctx)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package charm
+
+import "testing"
+
+func TestCollectStats(t *testing.T) {
+	rt := newTestRuntime(1)
+	a := NewArray(rt, "s", [3]int{6, 1, 1}, []EntryFn{
+		func(el *Elem, ctx *Ctx, m Msg) { ctx.Charge(100) },
+	}, func(ix Index) any { return nil })
+	a.Broadcast(Msg{Entry: 0})
+	rt.Engine().Run()
+	st := rt.Collect()
+	if st.NumPEs != 6 {
+		t.Fatalf("NumPEs = %d", st.NumPEs)
+	}
+	if st.Tasks != 6 {
+		t.Fatalf("tasks = %d, want 6", st.Tasks)
+	}
+	if st.MsgsSent != 6 {
+		t.Fatalf("msgs = %d, want 6", st.MsgsSent)
+	}
+	if st.BusyTotal == 0 || st.BusyMax == 0 {
+		t.Fatal("busy accounting empty")
+	}
+	// One element per PE with equal cost: perfectly balanced.
+	if im := st.Imbalance(); im < 0.99 || im > 1.01 {
+		t.Fatalf("imbalance = %v, want ~1.0", im)
+	}
+}
+
+func TestImbalanceDetectsSkew(t *testing.T) {
+	rt := newTestRuntime(1)
+	a := NewArray(rt, "s", [3]int{6, 1, 1}, []EntryFn{
+		func(el *Elem, ctx *Ctx, m Msg) {
+			if el.Flat == 0 {
+				ctx.Charge(1000)
+			} else {
+				ctx.Charge(10)
+			}
+		},
+	}, func(ix Index) any { return nil })
+	a.Broadcast(Msg{Entry: 0})
+	rt.Engine().Run()
+	if im := rt.Collect().Imbalance(); im < 2 {
+		t.Fatalf("imbalance = %v, want > 2 for skewed load", im)
+	}
+}
+
+func TestStatsEmptyRuntime(t *testing.T) {
+	rt := newTestRuntime(1)
+	st := rt.Collect()
+	if st.Imbalance() != 0 || st.Tasks != 0 {
+		t.Fatal("empty runtime should report zero stats")
+	}
+}

@@ -1,0 +1,41 @@
+package comm
+
+import (
+	"gat/internal/netsim"
+	"gat/internal/sim"
+)
+
+// MessagingConfig parameterizes the GPU Messaging API, the older of the
+// two Charm++ GPU-aware mechanisms (§II-B): before the data can move, a
+// small metadata message travels to the receiver and invokes a "post
+// entry method" that tells the runtime where the destination buffer is.
+type MessagingConfig struct {
+	// MetadataBytes is the size of the metadata message.
+	MetadataBytes int64
+	// PostCost is the host time consumed by the post entry method.
+	PostCost sim.Time
+}
+
+// DefaultMessagingConfig matches the Charm++ implementation's small
+// metadata envelope and post-entry handling cost.
+func DefaultMessagingConfig() MessagingConfig {
+	return MessagingConfig{MetadataBytes: 512, PostCost: 2 * sim.Microsecond}
+}
+
+// MessagingSend transfers a device buffer using the GPU Messaging API:
+// metadata message, post entry method at the receiver, then the GPU data
+// transfer. done runs when the data has arrived at the receiver. The
+// extra metadata round makes this measurably slower than the Channel
+// API for latency-sensitive messages — the gap that motivated the
+// Channel API's development.
+func MessagingSend(net *netsim.Network, cfg MessagingConfig, src, dst Endpoint, bytes int64, ready *sim.Signal, done func()) {
+	eng := net.Engine()
+	meta := net.Transfer(src.Node, dst.Node, cfg.MetadataBytes, ready)
+	posted := netsim.After(eng, meta, cfg.PostCost)
+	arrived := net.TransferGPUDirect(src.Node, dst.Node, bytes, posted)
+	arrived.OnFire(eng, func() {
+		if done != nil {
+			eng.Schedule(0, done)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package gpu models a CUDA-capable accelerator on the discrete-event
+// simulator: streams with priorities, kernels with launch overheads,
+// dual DMA copy engines, CUDA-style events and host callbacks, and
+// executable graphs.
+//
+// The compute side is modelled as a serial priority server. For the
+// memory-bandwidth-bound kernels of stencil codes this is equivalent in
+// aggregate to concurrent execution with shared bandwidth (processor
+// sharing): k concurrent kernels each run k times slower, so total
+// completion time is unchanged, while priority queueing still lets small
+// high-priority packing kernels bypass queued bulk work — the behaviour
+// the paper relies on in §III-A.
+package gpu
+
+import (
+	"container/heap"
+	"fmt"
+
+	"gat/internal/sim"
+)
+
+// Config holds the device cost model. All host-side costs are *not*
+// charged by this package; they are exposed so the calling runtime (a PE
+// scheduler or an MPI rank) can charge them to the correct CPU.
+type Config struct {
+	// MemBandwidth is the effective device memory bandwidth in bytes/s,
+	// used by callers to derive kernel durations.
+	MemBandwidth float64
+	// CopyBandwidth is the host-link (NVLink/PCIe) bandwidth per DMA
+	// engine in bytes/s.
+	CopyBandwidth float64
+	// CopySetup is the fixed device-side setup time per DMA transfer.
+	CopySetup sim.Time
+	// KernelLaunchHost is the host CPU cost of launching one kernel.
+	KernelLaunchHost sim.Time
+	// CopyLaunchHost is the host CPU cost of enqueueing one async copy.
+	CopyLaunchHost sim.Time
+	// KernelDispatch is the device-side latency from a kernel reaching
+	// the head of its stream to execution beginning, when idle.
+	KernelDispatch sim.Time
+	// GraphLaunchHost is the host CPU cost of launching one executable
+	// graph, replacing per-kernel launch costs.
+	GraphLaunchHost sim.Time
+	// GraphNodeHost is the additional host cost per graph node at
+	// launch (parameter validation scales mildly with graph size).
+	GraphNodeHost sim.Time
+	// GraphNodeDispatch is the device-side dispatch cost per graph node,
+	// cheaper than KernelDispatch because dependencies are pre-resolved.
+	GraphNodeDispatch sim.Time
+	// SyncOverhead is the host cost of a stream/device synchronize call
+	// in addition to the actual wait.
+	SyncOverhead sim.Time
+	// MemCapacity is the device memory capacity in bytes; zero means
+	// MemCapacityV100.
+	MemCapacity int64
+}
+
+// V100 returns a cost model calibrated to an NVIDIA Tesla V100 on a
+// Summit node (HBM2 roofline, NVLink2 host link). See DESIGN.md §5.
+func V100() Config {
+	return Config{
+		MemBandwidth:      780e9,
+		CopyBandwidth:     45e9,
+		CopySetup:         1800 * sim.Nanosecond,
+		KernelLaunchHost:  6500 * sim.Nanosecond,
+		CopyLaunchHost:    3500 * sim.Nanosecond,
+		KernelDispatch:    1200 * sim.Nanosecond,
+		GraphLaunchHost:   8000 * sim.Nanosecond,
+		GraphNodeHost:     800 * sim.Nanosecond,
+		GraphNodeDispatch: 600 * sim.Nanosecond,
+		SyncOverhead:      4000 * sim.Nanosecond,
+	}
+}
+
+// CopyDir is the direction of a host<->device DMA transfer.
+type CopyDir int
+
+// Transfer directions.
+const (
+	D2H CopyDir = iota // device to host
+	H2D                // host to device
+)
+
+func (d CopyDir) String() string {
+	if d == D2H {
+		return "d2h"
+	}
+	return "h2d"
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	eng  *sim.Engine
+	cfg  Config
+	name string
+
+	ready     readyHeap
+	busy      bool
+	busyAccum sim.Time
+	seq       uint64
+
+	d2h, h2d *sim.Pipe
+
+	kernelCount uint64
+	copyCount   uint64
+
+	memCapacity int64
+	memUsed     int64
+	memPeak     int64
+}
+
+// New creates a device attached to engine e.
+func New(e *sim.Engine, name string, cfg Config) *Device {
+	capacity := cfg.MemCapacity
+	if capacity == 0 {
+		capacity = MemCapacityV100
+	}
+	return &Device{
+		eng:         e,
+		cfg:         cfg,
+		name:        name,
+		d2h:         sim.NewPipe(e, name+"/d2h", cfg.CopyBandwidth, cfg.CopySetup),
+		h2d:         sim.NewPipe(e, name+"/h2d", cfg.CopyBandwidth, cfg.CopySetup),
+		memCapacity: capacity,
+	}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Config returns the device cost model.
+func (d *Device) Config() Config { return d.cfg }
+
+// Engine returns the simulation engine.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// BusyTime returns cumulative compute-engine busy time.
+func (d *Device) BusyTime() sim.Time { return d.busyAccum }
+
+// KernelsLaunched returns the number of kernels executed, including
+// graph nodes.
+func (d *Device) KernelsLaunched() uint64 { return d.kernelCount }
+
+// CopiesIssued returns the number of DMA transfers executed.
+func (d *Device) CopiesIssued() uint64 { return d.copyCount }
+
+// KernelTime returns the device time of a memory-bound kernel moving the
+// given number of bytes, per the roofline model.
+func (d *Device) KernelTime(bytes int64) sim.Time {
+	return sim.DurationOf(bytes, d.cfg.MemBandwidth)
+}
+
+// Stream priorities. Lower values run first when the compute engine
+// picks among eligible work, mirroring CUDA stream priorities.
+const (
+	PriorityHigh   = 0
+	PriorityNormal = 1
+)
+
+// readyItem is a unit of compute work eligible for dispatch.
+type readyItem struct {
+	prio    int
+	seq     uint64
+	service sim.Time
+	label   string
+	done    func()
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// submitCompute queues work for the serial compute engine.
+func (d *Device) submitCompute(prio int, label string, service sim.Time, done func()) {
+	d.seq++
+	heap.Push(&d.ready, readyItem{prio: prio, seq: d.seq, service: service, label: label, done: done})
+	d.tryDispatch()
+}
+
+func (d *Device) tryDispatch() {
+	if d.busy || d.ready.Len() == 0 {
+		return
+	}
+	it := heap.Pop(&d.ready).(readyItem)
+	d.busy = true
+	start := d.eng.Now()
+	d.kernelCount++
+	d.eng.Schedule(it.service, func() {
+		d.busyAccum += it.service
+		if tr := d.eng.Tracer(); tr != nil {
+			tr.Add(sim.Span{Resource: d.name, Label: it.label, Start: start, End: d.eng.Now()})
+		}
+		d.busy = false
+		it.done()
+		d.tryDispatch()
+	})
+}
+
+func (d *Device) copyPipe(dir CopyDir) *sim.Pipe {
+	if dir == D2H {
+		return d.d2h
+	}
+	return d.h2d
+}
+
+// Utilization returns compute busy time over elapsed time.
+func (d *Device) Utilization() float64 {
+	now := d.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(d.busyAccum) / float64(now)
+}
+
+func (d *Device) String() string {
+	return fmt.Sprintf("%s(kernels=%d copies=%d busy=%v)", d.name, d.kernelCount, d.copyCount, d.busyAccum)
+}

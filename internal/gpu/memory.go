@@ -1,0 +1,62 @@
+package gpu
+
+import "fmt"
+
+// Device memory accounting. The paper sizes its problems against the
+// V100's 16 GB of HBM2 (the 1536^3-per-node case uses ~9 GB per GPU,
+// §IV-B); the allocator enforces that the modelled working set actually
+// fits, which catches miscalibrated experiment configurations at setup
+// time instead of producing silently impossible runs.
+
+// MemCapacityV100 is the HBM2 capacity of one V100.
+const MemCapacityV100 int64 = 16 << 30
+
+// Buffer is one device memory allocation.
+type Buffer struct {
+	dev   *Device
+	name  string
+	bytes int64
+	freed bool
+}
+
+// Bytes returns the allocation size.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// Name returns the allocation label.
+func (b *Buffer) Name() string { return b.name }
+
+// Alloc reserves bytes of device memory. It panics if the device would
+// exceed its capacity: an experiment that does not fit on the GPU is a
+// configuration error, not a runtime condition.
+func (d *Device) Alloc(name string, bytes int64) *Buffer {
+	if bytes < 0 {
+		panic("gpu: negative allocation")
+	}
+	if d.memUsed+bytes > d.memCapacity {
+		panic(fmt.Sprintf("gpu: %s out of memory: %d + %d > %d bytes (%s)",
+			d.name, d.memUsed, bytes, d.memCapacity, name))
+	}
+	d.memUsed += bytes
+	if d.memUsed > d.memPeak {
+		d.memPeak = d.memUsed
+	}
+	return &Buffer{dev: d, name: name, bytes: bytes}
+}
+
+// Free releases the buffer. Double frees panic.
+func (b *Buffer) Free() {
+	if b.freed {
+		panic("gpu: double free of " + b.name)
+	}
+	b.freed = true
+	b.dev.memUsed -= b.bytes
+}
+
+// MemUsed returns current device memory in use.
+func (d *Device) MemUsed() int64 { return d.memUsed }
+
+// MemPeak returns the high-water mark of device memory use.
+func (d *Device) MemPeak() int64 { return d.memPeak }
+
+// MemCapacity returns the device memory capacity.
+func (d *Device) MemCapacity() int64 { return d.memCapacity }

@@ -1,0 +1,106 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gat/internal/sim"
+)
+
+func TestAllocFreeAccounting(t *testing.T) {
+	_, d := newTestDevice()
+	b1 := d.Alloc("a", 1<<20)
+	b2 := d.Alloc("b", 2<<20)
+	if d.MemUsed() != 3<<20 {
+		t.Fatalf("used = %d", d.MemUsed())
+	}
+	b1.Free()
+	if d.MemUsed() != 2<<20 {
+		t.Fatalf("used after free = %d", d.MemUsed())
+	}
+	if d.MemPeak() != 3<<20 {
+		t.Fatalf("peak = %d", d.MemPeak())
+	}
+	b2.Free()
+	if d.MemUsed() != 0 {
+		t.Fatalf("used after all frees = %d", d.MemUsed())
+	}
+}
+
+func TestAllocOverCapacityPanics(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := testConfig()
+	cfg.MemCapacity = 1 << 20
+	d := New(e, "small", cfg)
+	d.Alloc("fits", 1<<19)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-capacity alloc did not panic")
+		}
+	}()
+	d.Alloc("overflow", 1<<20)
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	_, d := newTestDevice()
+	b := d.Alloc("x", 10)
+	b.Free()
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	b.Free()
+}
+
+func TestDefaultCapacityIsV100(t *testing.T) {
+	_, d := newTestDevice()
+	if d.MemCapacity() != MemCapacityV100 {
+		t.Fatalf("capacity = %d, want 16 GiB", d.MemCapacity())
+	}
+}
+
+// Property: any alloc/free sequence that individually fits keeps
+// used <= peak <= capacity and used equals the running sum.
+func TestMemAccountingProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		e := sim.NewEngine()
+		cfg := testConfig()
+		cfg.MemCapacity = 1 << 30
+		d := New(e, "m", cfg)
+		var live []*Buffer
+		var sum int64
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				b := live[0]
+				live = live[1:]
+				sum -= b.Bytes()
+				b.Free()
+			} else {
+				bytes := int64(op) + 1
+				if d.MemUsed()+bytes > d.MemCapacity() {
+					continue
+				}
+				live = append(live, d.Alloc("p", bytes))
+				sum += bytes
+			}
+			if d.MemUsed() != sum || d.MemPeak() < d.MemUsed() || d.MemPeak() > d.MemCapacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphTotalKernelTime(t *testing.T) {
+	g := NewGraph()
+	a := g.AddKernel("a", 100)
+	g.AddCopy(D2H, 1000, a)
+	g.AddKernel("b", 50, a)
+	if got := g.TotalKernelTime(); got != 150 {
+		t.Fatalf("TotalKernelTime = %v, want 150 (copies excluded)", got)
+	}
+}

@@ -1,0 +1,168 @@
+package gpu
+
+import "gat/internal/sim"
+
+// Stream is an in-order queue of device operations, the CUDA stream
+// analogue. Operations on one stream execute in FIFO order; operations
+// on different streams may interleave subject to engine availability.
+type Stream struct {
+	dev  *Device
+	name string
+	prio int
+	ops  []*op // pending; ops[0] is the in-flight head
+}
+
+// NewStream creates a stream with the given priority (PriorityHigh or
+// PriorityNormal).
+func (d *Device) NewStream(name string, prio int) *Stream {
+	return &Stream{dev: d, name: name, prio: prio}
+}
+
+// Device returns the owning device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// Priority returns the stream priority.
+func (s *Stream) Priority() int { return s.prio }
+
+// Pending returns the number of queued (not yet completed) operations.
+func (s *Stream) Pending() int { return len(s.ops) }
+
+type opKind int
+
+const (
+	opKernel opKind = iota
+	opCopy
+	opCallback
+	opEvent
+	opWait
+	opGraph
+)
+
+type op struct {
+	kind  opKind
+	label string
+	dur   sim.Time    // kernel device duration
+	bytes int64       // copy size
+	dir   CopyDir     // copy direction
+	cb    func()      // callback body
+	wait  *sim.Signal // gate for opWait
+	graph *Graph      // for opGraph
+	done  *sim.Signal
+}
+
+func (s *Stream) enqueue(o *op) *sim.Signal {
+	o.done = sim.NewSignal()
+	s.ops = append(s.ops, o)
+	if len(s.ops) == 1 {
+		s.startHead()
+	}
+	return o.done
+}
+
+// startHead begins executing the op at the head of the stream.
+func (s *Stream) startHead() {
+	o := s.ops[0]
+	d := s.dev
+	complete := func() {
+		o.done.Fire(d.eng)
+		s.ops = s.ops[1:]
+		if len(s.ops) > 0 {
+			s.startHead()
+		}
+	}
+	switch o.kind {
+	case opKernel:
+		d.submitCompute(s.prio, o.label, d.cfg.KernelDispatch+o.dur, complete)
+	case opCopy:
+		d.copyCount++
+		d.copyPipe(o.dir).Transfer(o.bytes).OnFire(d.eng, complete)
+	case opCallback:
+		// Host callback: runs as an event at the current time, then the
+		// stream advances.
+		d.eng.Schedule(0, func() {
+			o.cb()
+			complete()
+		})
+	case opEvent:
+		complete()
+	case opWait:
+		o.wait.OnFire(d.eng, complete)
+	case opGraph:
+		s.launchGraphInstance(o, complete)
+	default:
+		panic("gpu: unknown op kind")
+	}
+}
+
+// Kernel enqueues a kernel with an explicit device duration and returns
+// its completion signal. The caller is responsible for charging
+// Config.KernelLaunchHost to the launching CPU.
+func (s *Stream) Kernel(label string, dur sim.Time) *sim.Signal {
+	return s.enqueue(&op{kind: opKernel, label: label, dur: dur})
+}
+
+// KernelBytes enqueues a memory-bound kernel whose duration is derived
+// from the roofline model.
+func (s *Stream) KernelBytes(label string, bytes int64) *sim.Signal {
+	return s.Kernel(label, s.dev.KernelTime(bytes))
+}
+
+// Copy enqueues an async DMA transfer of the given size and direction.
+// The caller charges Config.CopyLaunchHost to the launching CPU.
+func (s *Stream) Copy(dir CopyDir, bytes int64) *sim.Signal {
+	return s.enqueue(&op{kind: opCopy, label: dir.String(), bytes: bytes, dir: dir})
+}
+
+// OnComplete enqueues a host callback that runs when all previously
+// enqueued work on the stream has finished. This is the mechanism behind
+// HAPI-style asynchronous completion detection.
+func (s *Stream) OnComplete(cb func()) {
+	s.enqueue(&op{kind: opCallback, label: "callback", cb: cb})
+}
+
+// Event is a CUDA-event analogue: a marker recorded on a stream whose
+// signal fires when all prior work on that stream has completed.
+type Event struct{ sig *sim.Signal }
+
+// Done returns the completion signal.
+func (ev *Event) Done() *sim.Signal { return ev.sig }
+
+// RecordEvent records an event on the stream.
+func (s *Stream) RecordEvent() *Event {
+	sig := s.enqueue(&op{kind: opEvent, label: "event"})
+	return &Event{sig: sig}
+}
+
+// WaitEvent blocks subsequent work on s until ev (recorded on another
+// stream) completes — the cross-stream dependency primitive.
+func (s *Stream) WaitEvent(ev *Event) *sim.Signal {
+	return s.enqueue(&op{kind: opWait, label: "waitEvent", wait: ev.sig})
+}
+
+// WaitSignal blocks subsequent work on s until an arbitrary simulation
+// signal fires (e.g. network data arrival before an unpack kernel).
+func (s *Stream) WaitSignal(sig *sim.Signal) *sim.Signal {
+	return s.enqueue(&op{kind: opWait, label: "waitSignal", wait: sig})
+}
+
+// Sync blocks the calling proc until all currently enqueued work on the
+// stream completes, charging the host synchronization overhead. This is
+// the cudaStreamSynchronize analogue used by the "before-optimization"
+// Jacobi3D variant and the MPI variants.
+func (s *Stream) Sync(p *sim.Proc) {
+	p.Sleep(s.dev.cfg.SyncOverhead)
+	if len(s.ops) == 0 {
+		return
+	}
+	ev := s.RecordEvent()
+	p.Wait(ev.sig)
+}
+
+// Drained returns a signal that fires when all currently enqueued work
+// completes, without blocking (for event-driven callers).
+func (s *Stream) Drained() *sim.Signal {
+	if len(s.ops) == 0 {
+		return sim.FiredSignal()
+	}
+	return s.RecordEvent().sig
+}

@@ -1,0 +1,263 @@
+package compute
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockSolver is the overdecomposed counterpart of Jacobi3D: the grid
+// splits into bx×by×bz blocks, each owned by a worker goroutine that
+// keeps its own sub-grid with ghost layers, exchanges halos with
+// neighbors through channels, and sweeps independently — structurally
+// the same program the simulated Charm-D variant models, but computing
+// real values. Its results must match the monolithic solver exactly;
+// the test suite checks that invariant, which is what makes
+// overdecomposition a legal transformation.
+type BlockSolver struct {
+	nx, ny, nz int
+	dims       [3]int
+	blocks     []*block
+	boundary   func(i, j, k int) float64
+}
+
+type block struct {
+	idx       [3]int
+	lo, hi    [3]int // global interior ranges, inclusive
+	cur, next *Grid
+	neighbors [6]*block         // by face: -x,+x,-y,+y,-z,+z
+	haloIn    [6]chan []float64 // receive channels keyed by my face
+}
+
+// NewBlockSolver decomposes an nx×ny×nz interior into dims blocks.
+// Extents must divide evenly by the block grid.
+func NewBlockSolver(nx, ny, nz int, dims [3]int, boundary func(i, j, k int) float64) *BlockSolver {
+	if nx%dims[0] != 0 || ny%dims[1] != 0 || nz%dims[2] != 0 {
+		panic("compute: block grid must divide the interior evenly")
+	}
+	s := &BlockSolver{nx: nx, ny: ny, nz: nz, dims: dims, boundary: boundary}
+	sx, sy, sz := nx/dims[0], ny/dims[1], nz/dims[2]
+	for ix := 0; ix < dims[0]; ix++ {
+		for iy := 0; iy < dims[1]; iy++ {
+			for iz := 0; iz < dims[2]; iz++ {
+				b := &block{idx: [3]int{ix, iy, iz}}
+				b.lo = [3]int{ix*sx + 1, iy*sy + 1, iz*sz + 1}
+				b.hi = [3]int{(ix + 1) * sx, (iy + 1) * sy, (iz + 1) * sz}
+				b.cur = NewGrid(sx, sy, sz)
+				b.next = NewGrid(sx, sy, sz)
+				s.blocks = append(s.blocks, b)
+			}
+		}
+	}
+	// Wire neighbors and halo channels.
+	at := func(ix, iy, iz int) *block {
+		return s.blocks[(ix*dims[1]+iy)*dims[2]+iz]
+	}
+	for _, b := range s.blocks {
+		for face := 0; face < 6; face++ {
+			ax, dir := face/2, face%2
+			ni := b.idx
+			if dir == 0 {
+				ni[ax]--
+			} else {
+				ni[ax]++
+			}
+			if ni[ax] < 0 || ni[ax] >= dims[ax] {
+				continue
+			}
+			b.neighbors[face] = at(ni[0], ni[1], ni[2])
+			b.haloIn[face] = make(chan []float64, 1)
+		}
+	}
+	// Seed boundary values on the global shell.
+	s.applyBoundary()
+	return s
+}
+
+// applyBoundary writes the global boundary function into the ghost
+// cells of shell-adjacent blocks, for both buffers.
+func (s *BlockSolver) applyBoundary() {
+	if s.boundary == nil {
+		return
+	}
+	for _, b := range s.blocks {
+		for _, g := range []*Grid{b.cur, b.next} {
+			bx, by, bz := g.Size()
+			for i := 0; i <= bx+1; i++ {
+				for j := 0; j <= by+1; j++ {
+					for k := 0; k <= bz+1; k++ {
+						gi, gj, gk := b.lo[0]+i-1, b.lo[1]+j-1, b.lo[2]+k-1
+						onShell := gi == 0 || gi == s.nx+1 || gj == 0 || gj == s.ny+1 || gk == 0 || gk == s.nz+1
+						if onShell {
+							g.Set(i, j, k, s.boundary(gi, gj, gk))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Set writes a value at global interior coordinates (1..N).
+func (s *BlockSolver) Set(i, j, k int, v float64) {
+	b, li, lj, lk := s.locate(i, j, k)
+	b.cur.Set(li, lj, lk, v)
+}
+
+// At reads a value at global interior coordinates.
+func (s *BlockSolver) At(i, j, k int) float64 {
+	b, li, lj, lk := s.locate(i, j, k)
+	return b.cur.At(li, lj, lk)
+}
+
+func (s *BlockSolver) locate(i, j, k int) (*block, int, int, int) {
+	sx, sy, sz := s.nx/s.dims[0], s.ny/s.dims[1], s.nz/s.dims[2]
+	ix, iy, iz := (i-1)/sx, (j-1)/sy, (k-1)/sz
+	b := s.blocks[(ix*s.dims[1]+iy)*s.dims[2]+iz]
+	return b, i - b.lo[0] + 1, j - b.lo[1] + 1, k - b.lo[2] + 1
+}
+
+// packFace copies a block's boundary plane for the given face out of
+// its current buffer.
+func (b *block) packFace(face int) []float64 {
+	bx, by, bz := b.cur.Size()
+	ax, dir := face/2, face%2
+	fix := 1
+	if dir == 1 {
+		fix = [3]int{bx, by, bz}[ax]
+	}
+	var out []float64
+	switch ax {
+	case 0:
+		out = make([]float64, 0, by*bz)
+		for j := 1; j <= by; j++ {
+			for k := 1; k <= bz; k++ {
+				out = append(out, b.cur.At(fix, j, k))
+			}
+		}
+	case 1:
+		out = make([]float64, 0, bx*bz)
+		for i := 1; i <= bx; i++ {
+			for k := 1; k <= bz; k++ {
+				out = append(out, b.cur.At(i, fix, k))
+			}
+		}
+	default:
+		out = make([]float64, 0, bx*by)
+		for i := 1; i <= bx; i++ {
+			for j := 1; j <= by; j++ {
+				out = append(out, b.cur.At(i, j, fix))
+			}
+		}
+	}
+	return out
+}
+
+// unpackFace writes a received halo plane into the ghost layer of the
+// given face.
+func (b *block) unpackFace(face int, halo []float64) {
+	bx, by, bz := b.cur.Size()
+	ax, dir := face/2, face%2
+	ghost := 0
+	if dir == 1 {
+		ghost = [3]int{bx, by, bz}[ax] + 1
+	}
+	n := 0
+	switch ax {
+	case 0:
+		for j := 1; j <= by; j++ {
+			for k := 1; k <= bz; k++ {
+				b.cur.Set(ghost, j, k, halo[n])
+				n++
+			}
+		}
+	case 1:
+		for i := 1; i <= bx; i++ {
+			for k := 1; k <= bz; k++ {
+				b.cur.Set(i, ghost, k, halo[n])
+				n++
+			}
+		}
+	default:
+		for i := 1; i <= bx; i++ {
+			for j := 1; j <= by; j++ {
+				b.cur.Set(i, j, ghost, halo[n])
+				n++
+			}
+		}
+	}
+}
+
+// sweep updates the block interior from cur into next and returns the
+// max-abs change.
+func (b *block) sweep() float64 {
+	bx, by, bz := b.cur.Size()
+	var maxd float64
+	for i := 1; i <= bx; i++ {
+		for j := 1; j <= by; j++ {
+			for k := 1; k <= bz; k++ {
+				v := (b.cur.At(i-1, j, k) + b.cur.At(i+1, j, k) +
+					b.cur.At(i, j-1, k) + b.cur.At(i, j+1, k) +
+					b.cur.At(i, j, k-1) + b.cur.At(i, j, k+1)) / 6
+				d := v - b.cur.At(i, j, k)
+				if d < 0 {
+					d = -d
+				}
+				if d > maxd {
+					maxd = d
+				}
+				b.next.Set(i, j, k, v)
+			}
+		}
+	}
+	return maxd
+}
+
+// Step runs n sweeps: each sweep, every block concurrently sends its
+// halos, receives its neighbors', updates, and swaps buffers. Returns
+// the global residual of the final sweep.
+func (s *BlockSolver) Step(n int) float64 {
+	var residual float64
+	for sweep := 0; sweep < n; sweep++ {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		residual = 0
+		for _, b := range s.blocks {
+			wg.Add(1)
+			go func(b *block) {
+				defer wg.Done()
+				// Send halos to every existing neighbor (buffered
+				// channels, no deadlock), then receive and unpack.
+				for face := 0; face < 6; face++ {
+					if nb := b.neighbors[face]; nb != nil {
+						nb.haloIn[oppositeFace(face)] <- b.packFace(face)
+					}
+				}
+				for face := 0; face < 6; face++ {
+					if b.neighbors[face] != nil {
+						b.unpackFace(face, <-b.haloIn[face])
+					}
+				}
+				local := b.sweep()
+				mu.Lock()
+				if local > residual {
+					residual = local
+				}
+				mu.Unlock()
+			}(b)
+		}
+		wg.Wait()
+		for _, b := range s.blocks {
+			b.cur, b.next = b.next, b.cur
+		}
+		s.applyBoundary()
+	}
+	return residual
+}
+
+func oppositeFace(f int) int { return f ^ 1 }
+
+// String describes the solver.
+func (s *BlockSolver) String() string {
+	return fmt.Sprintf("BlockSolver %dx%dx%d over %dx%dx%d blocks",
+		s.nx, s.ny, s.nz, s.dims[0], s.dims[1], s.dims[2])
+}

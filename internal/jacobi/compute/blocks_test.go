@@ -1,0 +1,86 @@
+package compute
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBlockSolverMatchesMonolithic(t *testing.T) {
+	// The overdecomposed solver must produce bit-identical results to
+	// the monolithic one — the legality condition for the paper's whole
+	// approach.
+	boundary := func(i, j, k int) float64 { return float64(i) - 0.5*float64(j) + 0.25*float64(k) }
+	const n = 12
+	const sweeps = 20
+
+	mono := NewSolver(n, n, n, boundary)
+	mono.Step(sweeps, 1)
+
+	for _, dims := range [][3]int{{2, 1, 1}, {2, 2, 3}, {3, 4, 2}, {1, 1, 12}} {
+		blk := NewBlockSolver(n, n, n, dims, boundary)
+		blk.Step(sweeps)
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				for k := 1; k <= n; k++ {
+					if got, want := blk.At(i, j, k), mono.Grid().At(i, j, k); got != want {
+						t.Fatalf("dims=%v (%d,%d,%d): %g != %g", dims, i, j, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBlockSolverConverges(t *testing.T) {
+	s := NewBlockSolver(8, 8, 8, [3]int{2, 2, 2}, func(i, j, k int) float64 { return 2 })
+	var res float64
+	for sweep := 0; sweep < 500; sweep++ {
+		res = s.Step(1)
+		if res < 1e-7 {
+			break
+		}
+	}
+	if res >= 1e-7 {
+		t.Fatalf("did not converge: residual %g", res)
+	}
+	if v := s.At(4, 4, 4); math.Abs(v-2) > 1e-5 {
+		t.Fatalf("interior %g, want 2", v)
+	}
+}
+
+func TestBlockSolverSetAt(t *testing.T) {
+	s := NewBlockSolver(6, 6, 6, [3]int{3, 2, 1}, nil)
+	s.Set(5, 4, 3, 42)
+	if got := s.At(5, 4, 3); got != 42 {
+		t.Fatalf("At = %g, want 42", got)
+	}
+	if got := s.At(1, 1, 1); got != 0 {
+		t.Fatalf("untouched cell = %g", got)
+	}
+}
+
+func TestBlockSolverUnevenDivisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("uneven block division did not panic")
+		}
+	}()
+	NewBlockSolver(10, 10, 10, [3]int{3, 1, 1}, nil)
+}
+
+func TestBlockSolverHaloExchangeCorrectness(t *testing.T) {
+	// One sweep with a linear field stays exact across block borders —
+	// any halo mis-indexing would break harmonicity at the seams.
+	lin := func(i, j, k int) float64 { return 3*float64(i) + 2*float64(j) + float64(k) }
+	s := NewBlockSolver(8, 8, 8, [3]int{2, 2, 2}, lin)
+	for i := 1; i <= 8; i++ {
+		for j := 1; j <= 8; j++ {
+			for k := 1; k <= 8; k++ {
+				s.Set(i, j, k, lin(i, j, k))
+			}
+		}
+	}
+	if res := s.Step(1); res > 1e-12 {
+		t.Fatalf("linear field perturbed across block seams: residual %g", res)
+	}
+}

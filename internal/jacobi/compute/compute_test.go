@@ -1,0 +1,171 @@
+package compute
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformBoundaryConverges(t *testing.T) {
+	// With boundary 1 everywhere, the harmonic solution is identically 1.
+	s := NewSolver(8, 8, 8, func(i, j, k int) float64 { return 1 })
+	sweeps, res := s.SolveToTolerance(1e-7, 2000, 4)
+	if res >= 1e-7 {
+		t.Fatalf("did not converge: residual %g after %d sweeps", res, sweeps)
+	}
+	g := s.Grid()
+	for i := 1; i <= 8; i++ {
+		if v := g.At(i, 4, 4); math.Abs(v-1) > 1e-5 {
+			t.Fatalf("interior value %g at i=%d, want 1", v, i)
+		}
+	}
+}
+
+func TestLinearSolutionIsFixedPoint(t *testing.T) {
+	// u = x is harmonic: a Jacobi sweep must leave it (near) unchanged.
+	n := 6
+	lin := func(i, j, k int) float64 { return float64(i) }
+	s := NewSolver(n, n, n, lin)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			for k := 1; k <= n; k++ {
+				s.Grid().Set(i, j, k, lin(i, j, k))
+			}
+		}
+	}
+	res := s.Step(1, 2)
+	if res > 1e-12 {
+		t.Fatalf("linear field not a fixed point: residual %g", res)
+	}
+}
+
+func TestBlockCountDoesNotChangeResult(t *testing.T) {
+	// The decomposed solver must produce identical results regardless of
+	// the block count — the invariant the whole paper leans on.
+	boundary := func(i, j, k int) float64 { return float64(i) + 2*float64(j) - float64(k) }
+	run := func(blocks int) *Grid {
+		s := NewSolver(10, 9, 8, boundary)
+		s.Step(25, blocks)
+		return s.Grid()
+	}
+	ref := run(1)
+	for _, blocks := range []int{2, 3, 5, 10} {
+		g := run(blocks)
+		for i := 1; i <= 10; i++ {
+			for j := 1; j <= 9; j++ {
+				for k := 1; k <= 8; k++ {
+					if g.At(i, j, k) != ref.At(i, j, k) {
+						t.Fatalf("blocks=%d diverges from serial at (%d,%d,%d): %g vs %g",
+							blocks, i, j, k, g.At(i, j, k), ref.At(i, j, k))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestResidualMonotoneForLaplace(t *testing.T) {
+	s := NewSolver(8, 8, 8, func(i, j, k int) float64 {
+		if i == 0 {
+			return 1
+		}
+		return 0
+	})
+	prev := math.Inf(1)
+	for sweep := 0; sweep < 30; sweep++ {
+		r := s.Step(1, 3)
+		if r > prev*1.0001 { // Jacobi residual decays monotonically here
+			t.Fatalf("residual rose: %g -> %g at sweep %d", prev, r, sweep)
+		}
+		prev = r
+	}
+}
+
+func TestMaximumPrinciple(t *testing.T) {
+	// Interior values must remain within the boundary's range.
+	s := NewSolver(6, 6, 6, func(i, j, k int) float64 {
+		return math.Sin(float64(i)) + math.Cos(float64(j*k))
+	})
+	s.Step(100, 3)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	g := s.Grid()
+	for i := 0; i <= 7; i++ {
+		for j := 0; j <= 7; j++ {
+			for k := 0; k <= 7; k++ {
+				if i == 0 || i == 7 || j == 0 || j == 7 || k == 0 || k == 7 {
+					lo = math.Min(lo, g.At(i, j, k))
+					hi = math.Max(hi, g.At(i, j, k))
+				}
+			}
+		}
+	}
+	for i := 1; i <= 6; i++ {
+		for j := 1; j <= 6; j++ {
+			for k := 1; k <= 6; k++ {
+				v := g.At(i, j, k)
+				if v < lo-1e-9 || v > hi+1e-9 {
+					t.Fatalf("maximum principle violated at (%d,%d,%d): %g not in [%g,%g]",
+						i, j, k, v, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// Property: averaging is a contraction — one sweep never increases the
+// max-abs interior value beyond the max-abs of the whole grid.
+func TestSweepContractionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := seed
+		next := func() float64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return float64(rng%1000) / 500.0
+		}
+		s := NewSolver(5, 5, 5, func(i, j, k int) float64 { return 0 })
+		var maxAbs float64
+		for i := 1; i <= 5; i++ {
+			for j := 1; j <= 5; j++ {
+				for k := 1; k <= 5; k++ {
+					v := next()
+					s.Grid().Set(i, j, k, v)
+					maxAbs = math.Max(maxAbs, math.Abs(v))
+				}
+			}
+		}
+		s.Step(1, 2)
+		for i := 1; i <= 5; i++ {
+			for j := 1; j <= 5; j++ {
+				for k := 1; k <= 5; k++ {
+					if math.Abs(s.Grid().At(i, j, k)) > maxAbs+1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := NewGrid(3, 4, 5)
+	nx, ny, nz := g.Size()
+	if nx != 3 || ny != 4 || nz != 5 {
+		t.Fatalf("size = %d,%d,%d", nx, ny, nz)
+	}
+	g.Set(1, 2, 3, 42)
+	if g.At(1, 2, 3) != 42 {
+		t.Fatal("Set/At round trip failed")
+	}
+}
+
+func TestBadGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-extent grid did not panic")
+		}
+	}()
+	NewGrid(0, 1, 1)
+}

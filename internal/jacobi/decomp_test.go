@@ -1,0 +1,165 @@
+package jacobi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBestDimsCube(t *testing.T) {
+	// A cube over 8 blocks should split 2x2x2.
+	d := BestDims(8, [3]int{512, 512, 512})
+	if d != [3]int{2, 2, 2} {
+		t.Fatalf("dims = %v, want {2 2 2}", d)
+	}
+}
+
+func TestBestDimsSixGPUs(t *testing.T) {
+	// The single-node case from the paper: 1536^3 over 6 GPUs splits
+	// 3x2x1 (or a permutation with equal surface).
+	d := BestDims(6, [3]int{1536, 1536, 1536})
+	if d[0]*d[1]*d[2] != 6 {
+		t.Fatalf("dims %v do not multiply to 6", d)
+	}
+	blk := NewDecomp([3]int{1536, 1536, 1536}, 6).Block([3]int{0, 0, 0})
+	// Max halo face must be around 9 MB as the paper reports (§IV-B).
+	var maxBytes int64
+	for f := 0; f < NumFaces; f++ {
+		if b := blk.FaceBytes(f); b > maxBytes {
+			maxBytes = b
+		}
+	}
+	if maxBytes < 8<<20 || maxBytes > 10<<20 {
+		t.Fatalf("max halo = %d bytes, want ~9MB", maxBytes)
+	}
+}
+
+func TestSmallProblemHaloSize(t *testing.T) {
+	// 192^3 over 6 GPUs (1x2x3 split): face sizes are 48/96/144 KiB;
+	// the paper quotes "up to 96 KB" for the faces most blocks exchange.
+	blk := NewDecomp([3]int{192, 192, 192}, 6).Block([3]int{0, 0, 0})
+	sizes := map[int64]bool{}
+	for f := 0; f < NumFaces; f++ {
+		sizes[blk.FaceBytes(f)] = true
+	}
+	for _, want := range []int64{48 << 10, 96 << 10, 144 << 10} {
+		if !sizes[want] {
+			t.Fatalf("face sizes %v missing %d", sizes, want)
+		}
+	}
+}
+
+func TestBlockVolumeConservation(t *testing.T) {
+	d := NewDecomp([3]int{100, 90, 80}, 12)
+	var total int64
+	for f := 0; f < d.Count(); f++ {
+		total += d.BlockFlat(f).Volume()
+	}
+	if want := int64(100) * 90 * 80; total != want {
+		t.Fatalf("total volume %d, want %d", total, want)
+	}
+}
+
+func TestNeighborsInteriorBlock(t *testing.T) {
+	d := NewDecomp([3]int{64, 64, 64}, 27) // 3x3x3
+	if d.Dims != [3]int{3, 3, 3} {
+		t.Fatalf("dims = %v", d.Dims)
+	}
+	center := d.Block([3]int{1, 1, 1})
+	if len(center.Neighbors()) != 6 {
+		t.Fatalf("center block has %d neighbors, want 6", len(center.Neighbors()))
+	}
+	corner := d.Block([3]int{0, 0, 0})
+	if len(corner.Neighbors()) != 3 {
+		t.Fatalf("corner block has %d neighbors, want 3", len(corner.Neighbors()))
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	d := NewDecomp([3]int{48, 48, 48}, 24)
+	for f := 0; f < d.Count(); f++ {
+		blk := d.BlockFlat(f)
+		for _, nb := range blk.Neighbors() {
+			back := d.Block(nb.Idx)
+			found := false
+			for _, bn := range back.Neighbors() {
+				if bn.Idx == blk.Idx && bn.Face == Opposite(nb.Face) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation not symmetric: %v face %d -> %v", blk.Idx, nb.Face, nb.Idx)
+			}
+		}
+	}
+}
+
+func TestOpposite(t *testing.T) {
+	pairs := [][2]int{{FaceXMinus, FaceXPlus}, {FaceYMinus, FaceYPlus}, {FaceZMinus, FaceZPlus}}
+	for _, p := range pairs {
+		if Opposite(p[0]) != p[1] || Opposite(p[1]) != p[0] {
+			t.Fatalf("Opposite broken for pair %v", p)
+		}
+	}
+}
+
+func TestInteriorVolume(t *testing.T) {
+	d := NewDecomp([3]int{10, 10, 10}, 1)
+	blk := d.Block([3]int{0, 0, 0})
+	if iv := blk.InteriorVolume(); iv != 8*8*8 {
+		t.Fatalf("interior volume = %d, want 512", iv)
+	}
+}
+
+// Property: BestDims always factors n exactly and never loses cells.
+func TestBestDimsFactorsProperty(t *testing.T) {
+	f := func(nRaw uint8, gx, gy, gz uint8) bool {
+		n := int(nRaw)%64 + 1
+		g := [3]int{int(gx)%64 + 64, int(gy)%64 + 64, int(gz)%64 + 64}
+		dims := BestDims(n, g)
+		if dims[0]*dims[1]*dims[2] != n {
+			return false
+		}
+		d := Decomp{Global: g, Dims: dims}
+		var vol int64
+		for f := 0; f < n; f++ {
+			vol += d.BlockFlat(f).Volume()
+		}
+		return vol == int64(g[0])*int64(g[1])*int64(g[2])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flatten/unflatten round-trips.
+func TestDecompFlattenProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%48 + 1
+		d := NewDecomp([3]int{96, 96, 96}, n)
+		for flat := 0; flat < d.Count(); flat++ {
+			if d.Flatten(d.BlockFlat(flat).Idx) != flat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusionStringAndCosts(t *testing.T) {
+	if FusionNone.String() != "none" || FusionC.String() != "C" {
+		t.Fatal("fusion names wrong")
+	}
+	// Fused-all traffic must exceed the plain update (it also moves
+	// halo bytes) but stay below update + 2*sum-faces*pack*2.
+	vol, faces := int64(1000_000), int64(60_000)
+	fa := fusedAllBytes(vol, faces)
+	if fa <= updateKernelBytes(vol) {
+		t.Fatal("fusedAll should cost more than the bare update")
+	}
+	if fa >= updateKernelBytes(vol)+4*packKernelBytes(faces) {
+		t.Fatal("fusedAll cost implausibly high")
+	}
+}

@@ -1,0 +1,55 @@
+package machine
+
+import (
+	"testing"
+
+	"gat/internal/gpu"
+	"gat/internal/netsim"
+	"gat/internal/sim"
+)
+
+func TestCustomClusterConfig(t *testing.T) {
+	cfg := Config{
+		Nodes:       3,
+		GPUsPerNode: 4,
+		GPU:         gpu.V100(),
+		Net:         netsim.Summit(),
+		HostMemBW:   100e9,
+	}
+	m := New(cfg)
+	if m.Procs() != 12 {
+		t.Fatalf("procs = %d, want 12", m.Procs())
+	}
+	if m.NodeOf(11) != 2 {
+		t.Fatalf("NodeOf(11) = %d, want 2", m.NodeOf(11))
+	}
+	if m.Net.Nodes() != 3 {
+		t.Fatalf("network nodes = %d", m.Net.Nodes())
+	}
+}
+
+func TestSummitCalibrationValues(t *testing.T) {
+	cfg := Summit(1)
+	if cfg.GPUsPerNode != 6 {
+		t.Fatalf("Summit has 6 GPUs per node, got %d", cfg.GPUsPerNode)
+	}
+	if cfg.GPU.MemBandwidth != 780e9 {
+		t.Fatalf("V100 bandwidth = %v", cfg.GPU.MemBandwidth)
+	}
+	if cfg.Net.InjectionBW != 23e9 {
+		t.Fatalf("injection = %v", cfg.Net.InjectionBW)
+	}
+}
+
+func TestMachineSharedNetworkAndClock(t *testing.T) {
+	m := New(Summit(2))
+	// A transfer on the machine's network and a kernel on one of its
+	// GPUs must advance the same clock.
+	var xferAt, kernAt sim.Time
+	m.Net.Transfer(0, 1, 1000, sim.FiredSignal()).OnFire(m.Eng, func() { xferAt = m.Eng.Now() })
+	m.GPUOf(3).NewStream("s", gpu.PriorityNormal).Kernel("k", 777).OnFire(m.Eng, func() { kernAt = m.Eng.Now() })
+	m.Eng.Run()
+	if xferAt == 0 || kernAt == 0 {
+		t.Fatal("shared-engine events did not run")
+	}
+}

@@ -1,0 +1,79 @@
+// Package machine assembles simulated clusters: nodes with host cores
+// (PEs), GPUs, and NICs wired to one discrete-event engine. The Summit
+// configuration is the calibrated default used by every experiment.
+package machine
+
+import (
+	"fmt"
+
+	"gat/internal/gpu"
+	"gat/internal/netsim"
+	"gat/internal/sim"
+)
+
+// Config describes a homogeneous cluster.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// GPUsPerNode is the number of GPUs (and, in the paper's setup, the
+	// number of application processes/PEs) per node.
+	GPUsPerNode int
+	// GPU is the device cost model.
+	GPU gpu.Config
+	// Net is the interconnect cost model.
+	Net netsim.Config
+	// HostMemBW is host memory bandwidth per node in bytes/s, used for
+	// intra-node host-message copies.
+	HostMemBW float64
+}
+
+// Summit returns the calibrated Summit configuration with the given node
+// count: 6 V100s per node, dual-rail EDR InfiniBand.
+func Summit(nodes int) Config {
+	return Config{
+		Nodes:       nodes,
+		GPUsPerNode: 6,
+		GPU:         gpu.V100(),
+		Net:         netsim.Summit(),
+		HostMemBW:   120e9,
+	}
+}
+
+// Machine is an instantiated cluster on a fresh simulation engine.
+type Machine struct {
+	Eng  *sim.Engine
+	Cfg  Config
+	Net  *netsim.Network
+	GPUs []*gpu.Device // indexed by global PE/rank id
+}
+
+// New instantiates the cluster described by cfg.
+func New(cfg Config) *Machine {
+	if cfg.Nodes <= 0 || cfg.GPUsPerNode <= 0 {
+		panic("machine: need positive node and GPU counts")
+	}
+	e := sim.NewEngine()
+	m := &Machine{
+		Eng: e,
+		Cfg: cfg,
+		Net: netsim.New(e, cfg.Net, cfg.Nodes),
+	}
+	total := cfg.Nodes * cfg.GPUsPerNode
+	for i := 0; i < total; i++ {
+		m.GPUs = append(m.GPUs, gpu.New(e, fmt.Sprintf("node%d/gpu%d", i/cfg.GPUsPerNode, i%cfg.GPUsPerNode), cfg.GPU))
+	}
+	return m
+}
+
+// Procs returns the total number of PEs/ranks (one per GPU, matching the
+// paper's one-process-one-GPU mapping).
+func (m *Machine) Procs() int { return m.Cfg.Nodes * m.Cfg.GPUsPerNode }
+
+// NodeOf returns the node housing global PE/rank id p.
+func (m *Machine) NodeOf(p int) int { return p / m.Cfg.GPUsPerNode }
+
+// GPUOf returns the device bound to global PE/rank id p.
+func (m *Machine) GPUOf(p int) *gpu.Device { return m.GPUs[p] }
+
+// SameNode reports whether two PEs share a node.
+func (m *Machine) SameNode(a, b int) bool { return m.NodeOf(a) == m.NodeOf(b) }

@@ -1,0 +1,53 @@
+package machine
+
+import (
+	"testing"
+
+	"gat/internal/sim"
+)
+
+func TestSummitShape(t *testing.T) {
+	m := New(Summit(4))
+	if m.Procs() != 24 {
+		t.Fatalf("procs = %d, want 24", m.Procs())
+	}
+	if m.NodeOf(0) != 0 || m.NodeOf(5) != 0 || m.NodeOf(6) != 1 || m.NodeOf(23) != 3 {
+		t.Fatal("NodeOf mapping wrong")
+	}
+	if !m.SameNode(0, 5) || m.SameNode(5, 6) {
+		t.Fatal("SameNode wrong")
+	}
+	if m.GPUOf(7) == nil || m.GPUOf(7).Name() != "node1/gpu1" {
+		t.Fatalf("GPUOf(7) = %v", m.GPUOf(7))
+	}
+}
+
+func TestMachineFreshEngine(t *testing.T) {
+	a, b := New(Summit(1)), New(Summit(1))
+	if a.Eng == b.Eng {
+		t.Fatal("machines must not share engines")
+	}
+	if a.Eng.Now() != 0 {
+		t.Fatal("fresh machine should start at time zero")
+	}
+}
+
+func TestMachineDevicesUsable(t *testing.T) {
+	m := New(Summit(1))
+	s := m.GPUOf(0).NewStream("s", 1)
+	var fired bool
+	s.Kernel("k", 100*sim.Microsecond).OnFire(m.Eng, func() { fired = true })
+	m.Eng.Run()
+	if !fired {
+		t.Fatal("kernel on machine GPU did not complete")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-node machine did not panic")
+		}
+	}()
+	New(Config{Nodes: 0, GPUsPerNode: 6})
+}

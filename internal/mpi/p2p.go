@@ -1,0 +1,81 @@
+package mpi
+
+import "gat/internal/sim"
+
+// Isend posts a non-blocking send of bytes to rank dst with the given
+// tag. kind selects the buffer location; both sides of a match must
+// agree. The request completes when the data has been delivered to the
+// receiver's buffer (rendezvous semantics, appropriate for the halo
+// sizes Jacobi3D exchanges).
+func (r *Rank) Isend(dst, tag int, bytes int64, kind BufKind) *Request {
+	r.proc.Sleep(r.w.Opt.CallOverhead)
+	req := &Request{done: sim.NewSignal()}
+	w := r.w
+	key := matchKey{src: r.id, dst: dst, tag: tag}
+	if rs := w.recvs[key]; len(rs) > 0 {
+		pr := rs[0]
+		w.recvs[key] = rs[1:]
+		w.start(key, bytes, kind, pr.kind, req, pr.req)
+		return req
+	}
+	w.sends[key] = append(w.sends[key], &pendingSend{bytes: bytes, kind: kind, req: req})
+	return req
+}
+
+// Irecv posts a non-blocking receive from rank src with the given tag.
+func (r *Rank) Irecv(src, tag int, kind BufKind) *Request {
+	r.proc.Sleep(r.w.Opt.CallOverhead)
+	req := &Request{done: sim.NewSignal()}
+	w := r.w
+	key := matchKey{src: src, dst: r.id, tag: tag}
+	if ss := w.sends[key]; len(ss) > 0 {
+		ps := ss[0]
+		w.sends[key] = ss[1:]
+		w.start(key, ps.bytes, ps.kind, kind, ps.req, req)
+		return req
+	}
+	w.recvs[key] = append(w.recvs[key], &pendingRecv{kind: kind, req: req})
+	return req
+}
+
+// start launches the matched transfer on the path implied by the buffer
+// kinds.
+func (w *World) start(key matchKey, bytes int64, sendKind, recvKind BufKind, sreq, rreq *Request) {
+	if sendKind != recvKind {
+		panic("mpi: mixed host/device buffer match not supported")
+	}
+	srcNode := w.M.NodeOf(key.src)
+	dstNode := w.M.NodeOf(key.dst)
+	var arrived *sim.Signal
+	switch {
+	case sendKind == Host:
+		arrived = w.M.Net.Transfer(srcNode, dstNode, bytes, sim.FiredSignal())
+	case bytes >= w.Opt.PipelineThreshold && srcNode != dstNode:
+		// Spectrum MPI's large-device-message fallback: chunked
+		// staging through pinned host buffers.
+		arrived = w.M.Net.PipelinedStagedTransfer(
+			w.M.GPUOf(key.src), w.M.GPUOf(key.dst),
+			srcNode, dstNode, bytes, w.M.Cfg.Net.PipelineChunkSize, sim.FiredSignal())
+	default:
+		arrived = w.M.Net.TransferGPUDirect(srcNode, dstNode, bytes, sim.FiredSignal())
+	}
+	arrived.OnFire(w.M.Eng, func() {
+		sreq.done.Fire(w.M.Eng)
+		rreq.done.Fire(w.M.Eng)
+	})
+}
+
+// Wait blocks until the request completes.
+func (r *Rank) Wait(req *Request) {
+	r.proc.Sleep(r.w.Opt.CallOverhead)
+	r.proc.Wait(req.done)
+}
+
+// Waitall blocks until every request completes, charging a single call
+// overhead (MPI_Waitall).
+func (r *Rank) Waitall(reqs ...*Request) {
+	r.proc.Sleep(r.w.Opt.CallOverhead)
+	for _, req := range reqs {
+		r.proc.Wait(req.done)
+	}
+}

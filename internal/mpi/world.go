@@ -1,0 +1,136 @@
+// Package mpi implements an MPI-like runtime on the discrete-event
+// simulator: ranks as blocking processes, non-blocking point-to-point
+// with tag matching, waitall, barrier and allreduce collectives, and
+// the two device-buffer transfer policies the paper measures — plain
+// host buffers (MPI-H, the application stages data itself) and
+// CUDA-aware device buffers (MPI-D, the library moves GPU memory and
+// switches to pipelined host staging above a size threshold, as IBM
+// Spectrum MPI does).
+package mpi
+
+import (
+	"fmt"
+
+	"gat/internal/gpu"
+	"gat/internal/machine"
+	"gat/internal/sim"
+)
+
+// Options is the MPI library cost model.
+type Options struct {
+	// CallOverhead is the host cost of each MPI call (Isend, Irecv,
+	// Wait*).
+	CallOverhead sim.Time
+	// PipelineThreshold is the device-buffer message size at and above
+	// which the library abandons GPUDirect for pipelined host staging
+	// (Spectrum MPI's large-message protocol, §IV-B).
+	PipelineThreshold int64
+}
+
+// DefaultOptions returns the Summit/Spectrum-MPI calibration.
+func DefaultOptions() Options {
+	return Options{
+		CallOverhead:      1200 * sim.Nanosecond,
+		PipelineThreshold: 1 << 20,
+	}
+}
+
+// BufKind says where a communication buffer lives.
+type BufKind int
+
+// Buffer locations.
+const (
+	Host BufKind = iota
+	Device
+)
+
+// World is an MPI communicator over all ranks of a machine, one rank
+// per GPU.
+type World struct {
+	M     *machine.Machine
+	Opt   Options
+	ranks []*Rank
+
+	sends map[matchKey][]*pendingSend
+	recvs map[matchKey][]*pendingRecv
+}
+
+type matchKey struct {
+	src, dst, tag int
+}
+
+type pendingSend struct {
+	bytes int64
+	kind  BufKind
+	req   *Request
+}
+
+type pendingRecv struct {
+	kind BufKind
+	req  *Request
+}
+
+// Request is a non-blocking operation handle.
+type Request struct {
+	done *sim.Signal
+}
+
+// Done reports whether the operation completed.
+func (r *Request) Done() bool { return r.done.Fired() }
+
+// NewWorld creates a world over m with one rank per GPU.
+func NewWorld(m *machine.Machine, opt Options) *World {
+	w := &World{
+		M:     m,
+		Opt:   opt,
+		sends: make(map[matchKey][]*pendingSend),
+		recvs: make(map[matchKey][]*pendingRecv),
+	}
+	for i := 0; i < m.Procs(); i++ {
+		w.ranks = append(w.ranks, &Rank{w: w, id: i})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Run spawns every rank executing body and runs the simulation to
+// completion, returning the final virtual time.
+func (w *World) Run(body func(r *Rank)) sim.Time {
+	for _, r := range w.ranks {
+		r := r
+		r.proc = w.M.Eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			body(r)
+		})
+	}
+	return w.M.Eng.Run()
+}
+
+// Rank is one MPI process bound to a host core and one GPU.
+type Rank struct {
+	w    *World
+	id   int
+	proc *sim.Proc
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.w.Size() }
+
+// Proc returns the simulated process backing the rank.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// GPU returns the device bound to this rank.
+func (r *Rank) GPU() *gpu.Device { return r.w.M.GPUOf(r.id) }
+
+// Node returns the node housing this rank.
+func (r *Rank) Node() int { return r.w.M.NodeOf(r.id) }
+
+// Engine returns the simulation engine.
+func (r *Rank) Engine() *sim.Engine { return r.w.M.Eng }
+
+// Compute blocks the rank for d of host computation.
+func (r *Rank) Compute(d sim.Time) { r.proc.Sleep(d) }

@@ -1,0 +1,93 @@
+package netsim
+
+import (
+	"fmt"
+
+	"gat/internal/sim"
+)
+
+// Detailed fabric model: an optional two-level fat tree with explicit
+// leaf-uplink and spine-downlink pipes, so that traffic between pods
+// contends on shared links instead of only on endpoint NICs. The
+// default NIC-only model is a good approximation of Summit's
+// non-blocking fat tree; the detailed model exists to study what the
+// paper's results look like on a *tapered* fabric, where link
+// contention grows with scale.
+
+// FabricConfig parameterizes the detailed fabric.
+type FabricConfig struct {
+	// UplinkBW is the bandwidth of one leaf-switch uplink in bytes/s.
+	// With UplinkBW < PodSize*InjectionBW the fabric is tapered.
+	UplinkBW float64
+	// UplinksPerPod is the number of parallel uplinks per leaf switch;
+	// flows hash over them by (src, dst).
+	UplinksPerPod int
+	// LinkOverhead is the per-message occupancy overhead of each link.
+	LinkOverhead sim.Time
+}
+
+// Fabric is the instantiated link set.
+type Fabric struct {
+	cfg FabricConfig
+	// up[pod][i] carries pod->spine traffic; down[pod][i] spine->pod.
+	up, down [][]*sim.Pipe
+}
+
+// EnableFabric attaches a detailed fabric to the network. Transfers
+// between different pods then reserve an uplink and a downlink in
+// addition to the endpoint NICs.
+func (n *Network) EnableFabric(cfg FabricConfig) *Fabric {
+	if cfg.UplinksPerPod <= 0 {
+		cfg.UplinksPerPod = 1
+	}
+	if cfg.UplinkBW <= 0 {
+		panic("netsim: fabric needs positive uplink bandwidth")
+	}
+	pods := (len(n.nics) + n.cfg.PodSize - 1) / n.cfg.PodSize
+	f := &Fabric{cfg: cfg}
+	for p := 0; p < pods; p++ {
+		var ups, downs []*sim.Pipe
+		for i := 0; i < cfg.UplinksPerPod; i++ {
+			ups = append(ups, sim.NewPipe(n.eng,
+				fmt.Sprintf("pod%d/up%d", p, i), cfg.UplinkBW, cfg.LinkOverhead))
+			downs = append(downs, sim.NewPipe(n.eng,
+				fmt.Sprintf("pod%d/down%d", p, i), cfg.UplinkBW, cfg.LinkOverhead))
+		}
+		f.up = append(f.up, ups)
+		f.down = append(f.down, downs)
+	}
+	n.fabric = f
+	return f
+}
+
+// pick hashes a flow onto one of the pod's parallel links.
+func (f *Fabric) pick(links []*sim.Pipe, src, dst int) *sim.Pipe {
+	h := uint64(src)*2654435761 + uint64(dst)*40503
+	return links[h%uint64(len(links))]
+}
+
+// reserve books the fabric path for a cross-pod message, cut-through
+// after the tx NIC: each stage starts one hop latency after the
+// previous stage's start. It returns the spine-downlink occupancy
+// window, which gates the receive side.
+func (f *Fabric) reserve(n *Network, src, dst int, bytes int64, txStart sim.Time) (downStart, downEnd sim.Time) {
+	srcPod := src / n.cfg.PodSize
+	dstPod := dst / n.cfg.PodSize
+	hop := n.cfg.LatencyPerHop
+	upStart, _ := f.pick(f.up[srcPod], src, dst).Reserve(txStart+hop, bytes)
+	return f.pick(f.down[dstPod], src, dst).Reserve(upStart+hop, bytes)
+}
+
+// Utilizations returns the utilization of every fabric link, keyed by
+// link name (for taper studies).
+func (f *Fabric) Utilizations() map[string]float64 {
+	out := make(map[string]float64)
+	for _, set := range [][][]*sim.Pipe{f.up, f.down} {
+		for _, links := range set {
+			for _, l := range links {
+				out[l.Name()] = l.Utilization()
+			}
+		}
+	}
+	return out
+}

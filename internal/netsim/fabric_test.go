@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"testing"
+
+	"gat/internal/sim"
+)
+
+func fabricConfig() FabricConfig {
+	return FabricConfig{UplinkBW: 1e9, UplinksPerPod: 1, LinkOverhead: 0}
+}
+
+func TestFabricIntraPodUnaffected(t *testing.T) {
+	// Same-pod transfers bypass the fabric entirely.
+	timeFor := func(detailed bool) sim.Time {
+		e := sim.NewEngine()
+		n := New(e, testConfig(), 4) // pod size 2
+		if detailed {
+			n.EnableFabric(fabricConfig())
+		}
+		var at sim.Time
+		n.Transfer(0, 1, 500, sim.FiredSignal()).OnFire(e, func() { at = e.Now() })
+		e.Run()
+		return at
+	}
+	if a, b := timeFor(false), timeFor(true); a != b {
+		t.Fatalf("intra-pod transfer changed with fabric: %v vs %v", a, b)
+	}
+}
+
+func TestFabricCrossPodAddsNoDelayWhenIdle(t *testing.T) {
+	// On an idle non-tapered fabric a single message is (nearly) as
+	// fast as with the NIC-only model.
+	e := sim.NewEngine()
+	n := New(e, testConfig(), 4)
+	n.EnableFabric(fabricConfig())
+	var at sim.Time
+	n.Transfer(0, 2, 500, sim.FiredSignal()).OnFire(e, func() { at = e.Now() })
+	e.Run()
+	// NIC-only: tx 0..500, rx 130..630. Detailed: up 10..510,
+	// down 20..520, rx earliest 30, end max(530, 520+10=530) = 530.
+	if at < 500 || at > 700 {
+		t.Fatalf("cross-pod idle transfer at %v, implausible", at)
+	}
+}
+
+func TestTaperedFabricCongests(t *testing.T) {
+	// Halve the uplink bandwidth and send two cross-pod flows from
+	// different nodes in the same pod: they contend on the shared
+	// uplink, which the NIC-only model cannot see.
+	run := func(taper bool) sim.Time {
+		e := sim.NewEngine()
+		n := New(e, testConfig(), 4)
+		fc := fabricConfig()
+		if taper {
+			fc.UplinkBW = 0.5e9
+		}
+		n.EnableFabric(fc)
+		done := 0
+		var last sim.Time
+		for _, src := range []int{0, 1} {
+			n.Transfer(src, 2+src%2, 1000, sim.FiredSignal()).OnFire(e, func() {
+				done++
+				last = e.Now()
+			})
+		}
+		e.Run()
+		if done != 2 {
+			t.Fatal("transfers lost")
+		}
+		return last
+	}
+	full, tapered := run(false), run(true)
+	if tapered <= full {
+		t.Fatalf("tapered fabric (%v) should be slower than full bisection (%v)", tapered, full)
+	}
+}
+
+func TestFabricUtilizations(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, testConfig(), 4)
+	f := n.EnableFabric(fabricConfig())
+	n.Transfer(0, 2, 1000, sim.FiredSignal())
+	e.Run()
+	utils := f.Utilizations()
+	// 4 nodes / pod size 2 = 2 pods, each with 1 uplink + 1 downlink.
+	if len(utils) != 4 {
+		t.Fatalf("got %d fabric links, want 4", len(utils))
+	}
+	busy := 0
+	for _, u := range utils {
+		if u > 0 {
+			busy++
+		}
+	}
+	if busy != 2 { // one uplink + one downlink carried the message
+		t.Fatalf("%d fabric links busy, want 2", busy)
+	}
+}
+
+func TestFabricBadConfigPanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, testConfig(), 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero uplink bandwidth did not panic")
+		}
+	}()
+	n.EnableFabric(FabricConfig{UplinkBW: 0})
+}

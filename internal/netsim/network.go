@@ -1,0 +1,231 @@
+// Package netsim models the cluster interconnect: per-node NIC injection
+// ports, an α–β latency/bandwidth wire model with fat-tree hop counts,
+// an intra-node peer path, and the message protocols that matter to
+// GPU-aware communication — eager, rendezvous, GPUDirect RDMA, and the
+// pipelined host-staging fallback that IBM Spectrum MPI applies to large
+// device buffers (the protocol change observed in the paper's Fig 7a).
+package netsim
+
+import (
+	"fmt"
+
+	"gat/internal/sim"
+)
+
+// Config is the interconnect cost model.
+type Config struct {
+	// LatencyBase is the end-to-end wire latency for a minimal message.
+	LatencyBase sim.Time
+	// LatencyPerHop is added per switch hop beyond the first.
+	LatencyPerHop sim.Time
+	// InjectionBW is the per-node NIC bandwidth in bytes/s, applied
+	// independently to the send (tx) and receive (rx) sides.
+	InjectionBW float64
+	// NICOverhead is the fixed NIC occupancy per message.
+	NICOverhead sim.Time
+	// IntraNodeBW is the bandwidth of the intra-node peer path
+	// (NVLink / shared memory) in bytes/s.
+	IntraNodeBW float64
+	// IntraNodeLatency is the fixed latency of an intra-node transfer.
+	IntraNodeLatency sim.Time
+	// GPUDirectOverhead is the extra per-message cost of registering a
+	// device buffer for RDMA.
+	GPUDirectOverhead sim.Time
+	// RendezvousThreshold is the message size at and above which a
+	// ready-to-send/clear-to-send handshake (one extra RTT) precedes the
+	// data, as in UCX and MPI rendezvous protocols.
+	RendezvousThreshold int64
+	// PipelineChunkOverhead is the per-chunk protocol cost (pinned
+	// buffer management, progress-engine work) of the pipelined
+	// host-staging path used by Spectrum MPI for large device buffers.
+	PipelineChunkOverhead sim.Time
+	// PipelineChunkSize is the chunk granularity of that path.
+	PipelineChunkSize int64
+	// PodSize is the number of nodes per leaf switch in the fat tree,
+	// used for hop counting.
+	PodSize int
+	// JitterFrac, when positive, perturbs each transfer's latency by a
+	// uniform ±fraction drawn from a seeded RNG. It models the
+	// run-to-run variability of a shared production fabric (the paper
+	// observed 300–800 us swings for CUDA-aware Spectrum MPI on 64+
+	// nodes, §IV-B). Zero keeps the network perfectly deterministic.
+	JitterFrac float64
+	// JitterSeed seeds the jitter RNG; runs with equal seeds are
+	// reproducible even with jitter enabled.
+	JitterSeed uint64
+}
+
+// Summit returns an interconnect model calibrated to Summit's dual-rail
+// EDR InfiniBand non-blocking fat tree (23 GB/s injection). See
+// DESIGN.md §5.
+func Summit() Config {
+	return Config{
+		LatencyBase:           1600 * sim.Nanosecond,
+		LatencyPerHop:         450 * sim.Nanosecond,
+		InjectionBW:           23e9,
+		NICOverhead:           900 * sim.Nanosecond,
+		IntraNodeBW:           45e9,
+		IntraNodeLatency:      1900 * sim.Nanosecond,
+		GPUDirectOverhead:     400 * sim.Nanosecond,
+		RendezvousThreshold:   64 << 10,
+		PipelineChunkOverhead: 15 * sim.Microsecond,
+		PipelineChunkSize:     1 << 20,
+		PodSize:               18,
+	}
+}
+
+// NIC is one node's network interface, with independent tx and rx ports.
+type NIC struct {
+	Node int
+	TX   *sim.Pipe
+	RX   *sim.Pipe
+}
+
+// Network is the cluster interconnect.
+type Network struct {
+	eng    *sim.Engine
+	cfg    Config
+	nics   []*NIC
+	intra  []*sim.Pipe // per-node intra-node peer path
+	rng    *sim.RNG    // jitter source; nil when JitterFrac == 0
+	fabric *Fabric     // optional detailed fat-tree links
+
+	messages uint64
+	bytes    int64
+}
+
+// New builds a network connecting nodes nodes.
+func New(e *sim.Engine, cfg Config, nodes int) *Network {
+	if nodes <= 0 {
+		panic("netsim: need at least one node")
+	}
+	if cfg.PodSize <= 0 {
+		cfg.PodSize = 18
+	}
+	n := &Network{eng: e, cfg: cfg}
+	if cfg.JitterFrac > 0 {
+		n.rng = sim.NewRNG(cfg.JitterSeed)
+	}
+	for i := 0; i < nodes; i++ {
+		n.nics = append(n.nics, &NIC{
+			Node: i,
+			TX:   sim.NewPipe(e, fmt.Sprintf("nic%d/tx", i), cfg.InjectionBW, cfg.NICOverhead),
+			RX:   sim.NewPipe(e, fmt.Sprintf("nic%d/rx", i), cfg.InjectionBW, cfg.NICOverhead),
+		})
+		n.intra = append(n.intra, sim.NewPipe(e, fmt.Sprintf("node%d/intra", i), cfg.IntraNodeBW, cfg.IntraNodeLatency))
+	}
+	return n
+}
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return len(n.nics) }
+
+// Engine returns the simulation engine the network is attached to.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Config returns the interconnect cost model.
+func (n *Network) Config() Config { return n.cfg }
+
+// NIC returns node i's NIC.
+func (n *Network) NIC(i int) *NIC { return n.nics[i] }
+
+// Messages returns the number of transfers completed or in flight.
+func (n *Network) Messages() uint64 { return n.messages }
+
+// BytesMoved returns the total bytes offered to the network.
+func (n *Network) BytesMoved() int64 { return n.bytes }
+
+// Hops returns the switch hop count between two nodes in the fat tree:
+// 0 within a node, 2 within a leaf pod, 4 across pods.
+func (n *Network) Hops(a, b int) int {
+	switch {
+	case a == b:
+		return 0
+	case a/n.cfg.PodSize == b/n.cfg.PodSize:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// Latency returns the one-way wire latency between two nodes,
+// including jitter when enabled.
+func (n *Network) Latency(a, b int) sim.Time {
+	h := n.Hops(a, b)
+	var base sim.Time
+	if h == 0 {
+		base = n.cfg.IntraNodeLatency
+	} else {
+		base = n.cfg.LatencyBase + sim.Time(h-1)*n.cfg.LatencyPerHop
+	}
+	if n.rng != nil {
+		return n.rng.Jitter(base, n.cfg.JitterFrac)
+	}
+	return base
+}
+
+// RTT returns the round-trip latency, used for rendezvous handshakes.
+func (n *Network) RTT(a, b int) sim.Time { return 2 * n.Latency(a, b) }
+
+// Transfer moves bytes from node src to node dst, starting when ready
+// fires, and returns a signal fired when the data has fully arrived.
+// The path is cut-through: the receive side drains in parallel with
+// injection, offset by the wire latency, so a large message occupies
+// the network for size/bandwidth once, not twice. Intra-node transfers
+// use the peer path instead of the NIC.
+func (n *Network) Transfer(src, dst int, bytes int64, ready *sim.Signal) *sim.Signal {
+	n.messages++
+	n.bytes += bytes
+	if src == dst {
+		return n.intra[src].TransferAfter(ready, bytes)
+	}
+	arrived := sim.NewSignal()
+	ready.OnFire(n.eng, func() {
+		txStart, _ := n.nics[src].TX.Reserve(n.eng.Now(), bytes)
+		rxEarliest := txStart + n.Latency(src, dst)
+		var downEnd sim.Time
+		if n.fabric != nil && src/n.cfg.PodSize != dst/n.cfg.PodSize {
+			var downStart sim.Time
+			downStart, downEnd = n.fabric.reserve(n, src, dst, bytes, txStart)
+			if e := downStart + n.cfg.LatencyPerHop; e > rxEarliest {
+				rxEarliest = e
+			}
+		}
+		_, rxEnd := n.nics[dst].RX.Reserve(rxEarliest, bytes)
+		if e := downEnd + n.cfg.LatencyPerHop; e > rxEnd {
+			rxEnd = e
+		}
+		n.eng.At(rxEnd, func() { arrived.Fire(n.eng) })
+	})
+	return arrived
+}
+
+// After returns a signal that fires d after sig fires.
+func After(e *sim.Engine, sig *sim.Signal, d sim.Time) *sim.Signal {
+	if d <= 0 {
+		return sig
+	}
+	out := sim.NewSignal()
+	sig.OnFire(e, func() { e.Schedule(d, func() { out.Fire(e) }) })
+	return out
+}
+
+// TransferGPUDirect is Transfer plus the device-buffer registration
+// overhead, and, for rendezvous-sized messages, a handshake RTT before
+// the data moves. This is the UCX/GPUDirect path used by the Charm++
+// Channel API and by CUDA-aware MPI below its pipelining threshold.
+func (n *Network) TransferGPUDirect(src, dst int, bytes int64, ready *sim.Signal) *sim.Signal {
+	start := ready
+	if bytes >= n.cfg.RendezvousThreshold && src != dst {
+		gate := sim.NewSignal()
+		ready.OnFire(n.eng, func() {
+			n.eng.Schedule(n.RTT(src, dst), func() { gate.Fire(n.eng) })
+		})
+		start = gate
+	}
+	gated := sim.NewSignal()
+	start.OnFire(n.eng, func() {
+		n.eng.Schedule(n.cfg.GPUDirectOverhead, func() { gated.Fire(n.eng) })
+	})
+	return n.Transfer(src, dst, bytes, gated)
+}

@@ -1,0 +1,165 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated components (CPU schedulers, GPU engines, network links)
+// share a single Engine with one virtual clock. Events fire in
+// (time, insertion-sequence) order, so repeated runs with the same inputs
+// produce bit-identical timelines. Two execution styles are supported:
+//
+//   - Event callbacks (Schedule/At) for passive components such as GPU
+//     engines and NICs.
+//   - Goroutine-backed processes (Spawn) for active components that need
+//     blocking semantics, such as MPI ranks calling Waitall. The engine
+//     runs at most one goroutine at a time and hands control back and
+//     forth explicitly, preserving determinism.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual time instant or duration in nanoseconds.
+// The zero value is the simulation epoch.
+type Time int64
+
+// Convenient duration units, mirroring package time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros returns t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats t with an adaptive unit, e.g. "12.50ms" or "340ns".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.2fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// DurationOf converts a byte count and a bandwidth in bytes/second into a
+// transfer duration. Zero or negative bandwidth panics: it always
+// indicates a miswired cost model rather than a recoverable condition.
+func DurationOf(bytes int64, bytesPerSec float64) Time {
+	if bytesPerSec <= 0 {
+		panic("sim: non-positive bandwidth")
+	}
+	return Time(float64(bytes) / bytesPerSec * float64(Second))
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)     { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any       { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event     { return h[0] }
+func (h *eventHeap) popMin() event  { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEv(e event) { heap.Push(h, e) }
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	handoff chan struct{} // procs signal here when they park or exit
+	nEvents uint64        // total events executed, for diagnostics
+	tracer  *Tracer
+	stopped bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{handoff: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsExecuted returns the number of events processed so far.
+func (e *Engine) EventsExecuted() uint64 { return e.nEvents }
+
+// Tracer returns the engine's tracer, or nil if tracing is disabled.
+func (e *Engine) Tracer() *Tracer { return e.tracer }
+
+// SetTracer installs a tracer; pass nil to disable tracing.
+func (e *Engine) SetTracer(tr *Tracer) { e.tracer = tr }
+
+// Schedule queues fn to run after delay d. A non-positive delay schedules
+// the event at the current time, ordered after already-queued events at
+// that time.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// At queues fn to run at absolute time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	e.events.pushEv(event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue is empty or Stop is called.
+// It returns the final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps <= limit, advancing the clock
+// to each event's time. Events left in the queue remain schedulable by a
+// later call. It returns the current virtual time when it stops.
+func (e *Engine) RunUntil(limit Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events.peek().at > limit {
+			e.now = limit
+			return e.now
+		}
+		ev := e.events.popMin()
+		e.now = ev.at
+		e.nEvents++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Stop halts Run/RunUntil after the current event completes. Pending
+// events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Idle reports whether no events are pending.
+func (e *Engine) Idle() bool { return len(e.events) == 0 }

@@ -1,0 +1,100 @@
+package sim
+
+// Pipe models a serialized bandwidth resource: a DMA copy engine, a NIC
+// injection port, or a host-interconnect link. Transfers are served in
+// request order; each occupies the pipe for overhead + bytes/bandwidth.
+//
+// Serialization is modelled with busy-until bookkeeping rather than an
+// explicit server process, which keeps a transfer to two events.
+type Pipe struct {
+	eng         *Engine
+	name        string
+	bytesPerSec float64
+	overhead    Time // fixed per-transfer setup cost
+	freeAt      Time // pipe is busy until this instant
+
+	busyAccum Time // total busy time, for utilization reporting
+}
+
+// NewPipe returns a pipe with the given bandwidth (bytes/second) and
+// fixed per-transfer overhead. Bandwidth must be positive.
+func NewPipe(e *Engine, name string, bytesPerSec float64, overhead Time) *Pipe {
+	if bytesPerSec <= 0 {
+		panic("sim: pipe needs positive bandwidth")
+	}
+	return &Pipe{eng: e, name: name, bytesPerSec: bytesPerSec, overhead: overhead}
+}
+
+// Name returns the pipe's name.
+func (pp *Pipe) Name() string { return pp.name }
+
+// Bandwidth returns the pipe's bandwidth in bytes per second.
+func (pp *Pipe) Bandwidth() float64 { return pp.bytesPerSec }
+
+// BusyTime returns the cumulative time the pipe has spent transferring.
+func (pp *Pipe) BusyTime() Time { return pp.busyAccum }
+
+// FreeAt returns the earliest instant a new transfer could start.
+func (pp *Pipe) FreeAt() Time {
+	if pp.freeAt < pp.eng.Now() {
+		return pp.eng.Now()
+	}
+	return pp.freeAt
+}
+
+// Transfer reserves the pipe for bytes starting no earlier than now and
+// returns a signal fired when the transfer completes. A zero-byte
+// transfer still pays the per-transfer overhead.
+func (pp *Pipe) Transfer(bytes int64) *Signal {
+	return pp.TransferAfter(FiredSignal(), bytes)
+}
+
+// TransferAfter is like Transfer but the transfer cannot start before
+// ready fires. The pipe is reserved only once ready fires, so other
+// transfers may proceed in the meantime.
+func (pp *Pipe) TransferAfter(ready *Signal, bytes int64) *Signal {
+	done := NewSignal()
+	ready.OnFire(pp.eng, func() {
+		start := pp.FreeAt()
+		dur := pp.overhead + DurationOf(bytes, pp.bytesPerSec)
+		pp.freeAt = start + dur
+		pp.busyAccum += dur
+		pp.eng.At(pp.freeAt, func() { done.Fire(pp.eng) })
+		if tr := pp.eng.tracer; tr != nil {
+			tr.Add(Span{Resource: pp.name, Label: "xfer", Start: start, End: pp.freeAt, Bytes: bytes})
+		}
+	})
+	return done
+}
+
+// Reserve books the pipe for bytes starting no earlier than earliest,
+// updating the busy-until bookkeeping, and returns the occupancy window.
+// It is a synchronous primitive for callers that compose multi-stage
+// transfers (e.g. cut-through network paths); most callers should use
+// Transfer instead. earliest must not be in the past.
+func (pp *Pipe) Reserve(earliest Time, bytes int64) (start, end Time) {
+	if earliest < pp.eng.Now() {
+		earliest = pp.eng.Now()
+	}
+	start = earliest
+	if pp.freeAt > start {
+		start = pp.freeAt
+	}
+	dur := pp.overhead + DurationOf(bytes, pp.bytesPerSec)
+	end = start + dur
+	pp.freeAt = end
+	pp.busyAccum += dur
+	if tr := pp.eng.tracer; tr != nil {
+		tr.Add(Span{Resource: pp.name, Label: "xfer", Start: start, End: end, Bytes: bytes})
+	}
+	return start, end
+}
+
+// Utilization returns busy time divided by elapsed time since epoch.
+func (pp *Pipe) Utilization() float64 {
+	now := pp.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(pp.busyAccum) / float64(now)
+}

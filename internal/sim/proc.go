@@ -1,0 +1,92 @@
+package sim
+
+// Proc is a goroutine-backed simulated process. Procs provide blocking
+// semantics (Sleep, Wait, Queue.Pop) on top of the event engine: at most
+// one proc runs at any real-time instant, and control transfers between
+// the engine and procs are explicit, so execution remains deterministic.
+//
+// Procs are used for components whose natural expression is sequential
+// blocking code — MPI ranks calling Waitall, for example. Purely reactive
+// components should use event callbacks instead, which are cheaper.
+type Proc struct {
+	eng    *Engine
+	name   string
+	wake   chan struct{}
+	done   *Signal
+	exited bool
+}
+
+// Spawn creates a proc running fn and schedules its first execution at
+// the current virtual time. fn runs in its own goroutine but only while
+// the engine has handed control to it.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, name: name, wake: make(chan struct{}), done: NewSignal()}
+	go func() {
+		<-p.wake
+		fn(p)
+		p.exited = true
+		p.done.Fire(e)
+		e.handoff <- struct{}{}
+	}()
+	e.Schedule(0, func() { e.resume(p) })
+	return p
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Done returns a signal fired when the proc's function returns.
+func (p *Proc) Done() *Signal { return p.done }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// resume hands control to p and blocks until p parks or exits.
+// It must be called from event context (the engine goroutine).
+func (e *Engine) resume(p *Proc) {
+	if p.exited {
+		panic("sim: resuming exited proc " + p.name)
+	}
+	p.wake <- struct{}{}
+	<-e.handoff
+}
+
+// park returns control to the engine and blocks until resumed.
+func (p *Proc) park() {
+	p.eng.handoff <- struct{}{}
+	<-p.wake
+}
+
+// Sleep suspends the proc for duration d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.Schedule(d, func() { e.resume(p) })
+	p.park()
+}
+
+// Wait blocks until s fires. If s has already fired, Wait returns
+// immediately without yielding.
+func (p *Proc) Wait(s *Signal) {
+	if s.Fired() {
+		return
+	}
+	s.addWaiter(p)
+	p.park()
+}
+
+// WaitAll blocks until every signal in sigs has fired.
+func (p *Proc) WaitAll(sigs ...*Signal) {
+	for _, s := range sigs {
+		p.Wait(s)
+	}
+}
+
+// Yield reschedules the proc at the current time, letting other events
+// and procs at this timestamp run first.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,42 @@
+package sim
+
+// RNG is a small deterministic pseudo-random generator (splitmix64).
+// All stochastic behaviour in the simulator — jitter hooks, randomized
+// workloads in examples — draws from an explicitly seeded RNG so that
+// runs are reproducible.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn needs positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Jitter returns a duration in [d*(1-frac), d*(1+frac)], used by the
+// optional run-to-run variability hooks.
+func (r *RNG) Jitter(d Time, frac float64) Time {
+	if frac <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*r.Float64()-1)
+	return Time(float64(d) * f)
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator collects summary statistics over a stream of float64
+// samples using Welford's online algorithm.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+	samples  []float64 // retained for percentiles
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+	a.samples = append(a.samples, x)
+}
+
+// N returns the number of samples.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Stddev returns the sample standard deviation, or 0 for n < 2.
+func (a *Accumulator) Stddev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank over
+// the retained samples, or 0 with no samples.
+func (a *Accumulator) Percentile(p float64) float64 {
+	if a.n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), a.samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// String summarizes the accumulator for logs.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g min=%.3g max=%.3g sd=%.3g",
+		a.n, a.Mean(), a.Min(), a.Max(), a.Stddev())
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		a.Add(x)
+	}
+	if a.N() != 5 || a.Mean() != 3 || a.Min() != 1 || a.Max() != 5 {
+		t.Fatalf("stats wrong: %v", a.String())
+	}
+	if sd := a.Stddev(); math.Abs(sd-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev = %v", sd)
+	}
+}
+
+func TestAccumulatorPercentile(t *testing.T) {
+	var a Accumulator
+	for i := 1; i <= 100; i++ {
+		a.Add(float64(i))
+	}
+	if p := a.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %v, want 50", p)
+	}
+	if p := a.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %v, want 99", p)
+	}
+	if p := a.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %v, want 100", p)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Stddev() != 0 || a.Percentile(50) != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+// Property: mean is always within [min, max].
+func TestAccumulatorMeanBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		ok := false
+		for _, x := range xs {
+			// Bound magnitudes so Welford intermediates cannot overflow;
+			// simulated metrics are always in this range.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue
+			}
+			a.Add(x)
+			ok = true
+		}
+		if !ok {
+			return true
+		}
+		const eps = 1e-9
+		return a.Mean() >= a.Min()-eps*math.Abs(a.Min())-eps &&
+			a.Mean() <= a.Max()+eps*math.Abs(a.Max())+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	r := NewRNG(2)
+	d := Time(1000)
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(d, 0.1)
+		if j < 900 || j > 1100 {
+			t.Fatalf("jitter out of bounds: %v", j)
+		}
+	}
+	if r.Jitter(d, 0) != d {
+		t.Fatal("zero-fraction jitter should return d unchanged")
+	}
+}
+
+func TestTracerSummary(t *testing.T) {
+	tr := NewTracer()
+	tr.Add(Span{Resource: "gpu0", Label: "kernel", Start: 0, End: 100})
+	tr.Add(Span{Resource: "gpu0", Label: "kernel", Start: 150, End: 250})
+	tr.Add(Span{Resource: "nic0", Label: "xfer", Start: 0, End: 50, Bytes: 10})
+	busy := tr.BusyByResource()
+	if busy["gpu0"] != 200 || busy["nic0"] != 50 {
+		t.Fatalf("busy = %v", busy)
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+// Signal is a one-shot broadcast: it starts unfired, fires exactly once,
+// and wakes every waiting proc and runs every registered callback when it
+// does. Waiting on an already-fired signal completes immediately.
+//
+// Signals are the completion primitive used throughout the simulator:
+// GPU events, network transfer completions, and request objects all
+// expose Signals.
+type Signal struct {
+	fired     bool
+	waiters   []*Proc
+	callbacks []func()
+}
+
+// NewSignal returns an unfired signal.
+func NewSignal() *Signal { return &Signal{} }
+
+// FiredSignal returns a signal that has already fired, useful as a
+// no-op dependency.
+func FiredSignal() *Signal { return &Signal{fired: true} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire marks the signal fired, schedules all waiting procs to resume at
+// the current time, and runs callbacks in registration order. Firing an
+// already-fired signal is a no-op.
+func (s *Signal) Fire(e *Engine) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	waiters := s.waiters
+	s.waiters = nil
+	for _, p := range waiters {
+		p := p
+		e.Schedule(0, func() { e.resume(p) })
+	}
+	callbacks := s.callbacks
+	s.callbacks = nil
+	for _, cb := range callbacks {
+		cb := cb
+		e.Schedule(0, cb)
+	}
+}
+
+// OnFire registers cb to run (as a scheduled event) when the signal
+// fires. If the signal already fired, cb is scheduled immediately.
+func (s *Signal) OnFire(e *Engine, cb func()) {
+	if s.fired {
+		e.Schedule(0, cb)
+		return
+	}
+	s.callbacks = append(s.callbacks, cb)
+}
+
+func (s *Signal) addWaiter(p *Proc) { s.waiters = append(s.waiters, p) }
+
+// AllOf returns a signal that fires once every input signal has fired.
+// With no inputs it returns an already-fired signal.
+func AllOf(e *Engine, sigs ...*Signal) *Signal {
+	out := NewSignal()
+	remaining := 0
+	for _, s := range sigs {
+		if !s.Fired() {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		out.fired = true
+		return out
+	}
+	n := remaining
+	for _, s := range sigs {
+		if s.Fired() {
+			continue
+		}
+		s.OnFire(e, func() {
+			n--
+			if n == 0 {
+				out.Fire(e)
+			}
+		})
+	}
+	return out
+}
+
+// Counter fires a signal after a fixed number of Add calls. It is used
+// for completion reductions ("all chares reported done").
+type Counter struct {
+	remaining int
+	sig       *Signal
+}
+
+// NewCounter returns a counter that fires after n calls to Add. n must
+// be positive.
+func NewCounter(n int) *Counter {
+	if n <= 0 {
+		panic("sim: counter needs positive count")
+	}
+	return &Counter{remaining: n, sig: NewSignal()}
+}
+
+// Add decrements the counter by one and fires the signal at zero.
+// Calling Add more times than the initial count panics: it indicates a
+// double-completion bug in the caller.
+func (c *Counter) Add(e *Engine) {
+	if c.remaining <= 0 {
+		panic("sim: counter over-released")
+	}
+	c.remaining--
+	if c.remaining == 0 {
+		c.sig.Fire(e)
+	}
+}
+
+// Remaining returns the number of outstanding Add calls.
+func (c *Counter) Remaining() int { return c.remaining }
+
+// Done returns the signal fired when the count reaches zero.
+func (c *Counter) Done() *Signal { return c.sig }
+
+// Queue is a FIFO queue with blocking Pop for procs. Push may be called
+// from event or proc context.
+type Queue[T any] struct {
+	items   []T
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends v and wakes one waiting proc, if any.
+func (q *Queue[T]) Push(e *Engine, v T) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		e.Schedule(0, func() { e.resume(p) })
+	}
+}
+
+// TryPop removes and returns the head item if present.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop blocks the proc until an item is available, then removes and
+// returns the head item.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v
+		}
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+}

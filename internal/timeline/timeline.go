@@ -1,0 +1,151 @@
+// Package timeline analyzes tracer output: per-resource utilization and
+// the metric at the heart of the paper — how much communication time is
+// hidden behind computation. It is the simulator's substitute for
+// eyeballing Nsight Systems timelines (§III-C).
+package timeline
+
+import (
+	"sort"
+	"strings"
+
+	"gat/internal/sim"
+)
+
+// Interval is a half-open busy interval [Start, End).
+type Interval struct {
+	Start, End sim.Time
+}
+
+// Analysis summarizes a run's timeline.
+type Analysis struct {
+	// Horizon is the run duration used for utilization.
+	Horizon sim.Time
+	// BusyByResource is total busy time per resource.
+	BusyByResource map[string]sim.Time
+	// Compute is the merged busy time of GPU compute engines.
+	Compute sim.Time
+	// Comm is the merged busy time of communication resources (NIC
+	// ports, intra-node links, DMA engines).
+	Comm sim.Time
+	// Hidden is the portion of Comm that coincides with Compute —
+	// communication overlapped with computation.
+	Hidden sim.Time
+}
+
+// OverlapFraction is Hidden/Comm: 1.0 means all communication was
+// hidden behind computation, 0 means fully exposed.
+func (a *Analysis) OverlapFraction() float64 {
+	if a.Comm == 0 {
+		return 0
+	}
+	return float64(a.Hidden) / float64(a.Comm)
+}
+
+// ComputeUtilization is merged compute time over the horizon.
+func (a *Analysis) ComputeUtilization() float64 {
+	if a.Horizon == 0 {
+		return 0
+	}
+	return float64(a.Compute) / float64(a.Horizon)
+}
+
+// classify decides whether a span is computation, communication, or
+// neither, from the resource naming conventions of the machine model.
+func classify(s sim.Span) (compute, comm bool) {
+	r := s.Resource
+	switch {
+	case strings.Contains(r, "/d2h"), strings.Contains(r, "/h2d"):
+		return false, true
+	case strings.Contains(r, "nic"), strings.Contains(r, "/intra"):
+		return false, true
+	case strings.Contains(r, "/gpu"):
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// Analyze builds an analysis from tracer spans over the given horizon.
+func Analyze(tr *sim.Tracer, horizon sim.Time) *Analysis {
+	a := &Analysis{Horizon: horizon, BusyByResource: tr.BusyByResource()}
+	var computeIv, commIv []Interval
+	for _, s := range tr.Spans {
+		iv := Interval{Start: s.Start, End: s.End}
+		if iv.End <= iv.Start {
+			continue
+		}
+		comp, comm := classify(s)
+		if comp {
+			computeIv = append(computeIv, iv)
+		}
+		if comm {
+			commIv = append(commIv, iv)
+		}
+	}
+	computeIv = Merge(computeIv)
+	commIv = Merge(commIv)
+	a.Compute = total(computeIv)
+	a.Comm = total(commIv)
+	a.Hidden = total(Intersect(computeIv, commIv))
+	return a
+}
+
+// Merge sorts and coalesces overlapping or touching intervals.
+func Merge(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := append([]Interval(nil), ivs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	out := sorted[:1]
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Intersect returns the pairwise intersection of two merged interval
+// lists.
+func Intersect(a, b []Interval) []Interval {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Start
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		hi := a[i].End
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if lo < hi {
+			out = append(out, Interval{Start: lo, End: hi})
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+func total(ivs []Interval) sim.Time {
+	var t sim.Time
+	for _, iv := range ivs {
+		t += iv.End - iv.Start
+	}
+	return t
+}

@@ -1,0 +1,127 @@
+package timeline
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gat/internal/sim"
+)
+
+func TestMergeBasic(t *testing.T) {
+	got := Merge([]Interval{{5, 10}, {1, 3}, {2, 6}, {20, 25}})
+	want := []Interval{{1, 10}, {20, 25}}
+	if len(got) != len(want) {
+		t.Fatalf("merge = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeTouchingIntervalsCoalesce(t *testing.T) {
+	got := Merge([]Interval{{1, 3}, {3, 5}})
+	if len(got) != 1 || got[0] != (Interval{1, 5}) {
+		t.Fatalf("merge = %v", got)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if Merge(nil) != nil {
+		t.Fatal("merge(nil) should be nil")
+	}
+}
+
+func TestIntersectBasic(t *testing.T) {
+	a := []Interval{{0, 10}, {20, 30}}
+	b := []Interval{{5, 25}}
+	got := Intersect(a, b)
+	want := []Interval{{5, 10}, {20, 25}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("intersect = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectDisjoint(t *testing.T) {
+	if got := Intersect([]Interval{{0, 5}}, []Interval{{6, 9}}); got != nil {
+		t.Fatalf("disjoint intersect = %v", got)
+	}
+}
+
+// Property: |A ∩ B| <= min(|A|, |B|) and merge is idempotent.
+func TestIntervalAlgebraProperty(t *testing.T) {
+	gen := func(raw []uint8) []Interval {
+		var ivs []Interval
+		for i := 0; i+1 < len(raw); i += 2 {
+			lo := sim.Time(raw[i])
+			hi := lo + sim.Time(raw[i+1]%32) + 1
+			ivs = append(ivs, Interval{lo, hi})
+		}
+		return ivs
+	}
+	f := func(ra, rb []uint8) bool {
+		a, b := Merge(gen(ra)), Merge(gen(rb))
+		inter := Intersect(a, b)
+		if total(inter) > total(a) || total(inter) > total(b) {
+			return false
+		}
+		// Merge idempotence.
+		am := Merge(a)
+		if total(am) != total(a) || len(am) != len(a) {
+			return false
+		}
+		// Merged intervals are sorted and disjoint.
+		if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i].Start < a[j].Start }) {
+			return false
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i].Start <= a[i-1].End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeOverlap(t *testing.T) {
+	tr := sim.NewTracer()
+	// GPU compute busy 0..100; NIC busy 50..150: 50 hidden of 100 comm.
+	tr.Add(sim.Span{Resource: "node0/gpu0", Label: "update", Start: 0, End: 100})
+	tr.Add(sim.Span{Resource: "nic0/tx", Label: "xfer", Start: 50, End: 150})
+	a := Analyze(tr, 200)
+	if a.Compute != 100 || a.Comm != 100 || a.Hidden != 50 {
+		t.Fatalf("compute=%v comm=%v hidden=%v", a.Compute, a.Comm, a.Hidden)
+	}
+	if f := a.OverlapFraction(); f != 0.5 {
+		t.Fatalf("overlap = %v, want 0.5", f)
+	}
+	if u := a.ComputeUtilization(); u != 0.5 {
+		t.Fatalf("compute util = %v, want 0.5", u)
+	}
+}
+
+func TestAnalyzeClassification(t *testing.T) {
+	tr := sim.NewTracer()
+	tr.Add(sim.Span{Resource: "node0/gpu1/d2h", Label: "xfer", Start: 0, End: 10})
+	tr.Add(sim.Span{Resource: "node0/intra", Label: "xfer", Start: 0, End: 10})
+	tr.Add(sim.Span{Resource: "pe3", Label: "entry", Start: 0, End: 10}) // neither
+	a := Analyze(tr, 10)
+	if a.Compute != 0 {
+		t.Fatalf("compute = %v, want 0", a.Compute)
+	}
+	if a.Comm != 10 { // two comm resources merged over the same window
+		t.Fatalf("comm = %v, want 10", a.Comm)
+	}
+}
+
+func TestAnalyzeEmptyTracer(t *testing.T) {
+	a := Analyze(sim.NewTracer(), 100)
+	if a.OverlapFraction() != 0 || a.Compute != 0 {
+		t.Fatal("empty tracer should produce zero analysis")
+	}
+}

@@ -1,0 +1,38 @@
+# Tier-1 verification plus lint and smoke targets. `make check` runs
+# everything CI needs in one command.
+
+GO ?= go
+
+.PHONY: all build test vet fmt-check check sweep-smoke bench-queue
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l lists unformatted files; fail if any.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# A fast end-to-end sweep: parallel output must be byte-identical to
+# the serial reference path.
+sweep-smoke:
+	@$(GO) build -o /tmp/gat-sweep ./cmd/sweep
+	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 1 > /tmp/gat-sweep-serial.txt
+	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 8 > /tmp/gat-sweep-parallel.txt
+	@cmp /tmp/gat-sweep-serial.txt /tmp/gat-sweep-parallel.txt
+	@echo "sweep-smoke: parallel output byte-identical to serial"
+
+bench-queue:
+	$(GO) test -run xxx -bench BenchmarkEventQueue -benchtime 1000000x .
+
+check: build vet fmt-check test sweep-smoke

@@ -11,6 +11,8 @@
 //	               full 512-node range: GAT_MAX_NODES=512 or cmd/sweep)
 //	GAT_ITERS      timed iterations per run (default 5 here; 10 in
 //	               cmd/sweep and EXPERIMENTS.md)
+//	GAT_JOBS       concurrent simulation runs per figure (default
+//	               GOMAXPROCS; 1 recovers the serial path)
 package gat
 
 import (
@@ -20,6 +22,7 @@ import (
 	"testing"
 
 	"gat/internal/bench"
+	"gat/internal/sweep"
 )
 
 func envInt(name string, def int) int {
@@ -39,17 +42,22 @@ func benchOptions() bench.Options {
 	}
 }
 
-// benchFigure regenerates one figure per benchmark iteration and prints
-// its rows once.
+// benchFigure regenerates one figure per benchmark iteration — its
+// independent runs spread over the sweep worker pool — and prints the
+// figure's rows once.
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
-	opt := benchOptions()
+	opt := sweep.Options{
+		Workers: envInt("GAT_JOBS", 0),
+		Bench:   benchOptions(),
+	}
 	var printed bool
 	for i := 0; i < b.N; i++ {
-		fig, err := bench.GenerateAny(id, opt)
+		res, err := sweep.Sweep([]string{id}, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
+		fig := res.Figures[0].Figure
 		if len(fig.Series) == 0 {
 			b.Fatalf("%s: empty figure", id)
 		}

@@ -4,42 +4,62 @@
 // device-side launch/copy overheads. Use it to sanity-check the cost
 // model against the calibration targets in DESIGN.md §5.
 //
-// Usage: microbench
+// Usage: microbench [-j N]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"runtime"
 
 	"gat/internal/gpu"
 	"gat/internal/machine"
 	"gat/internal/netsim"
 	"gat/internal/sim"
+	"gat/internal/sweep"
 )
 
 func main() {
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation runs")
+	flag.Parse()
+
 	fmt.Println("== transfer paths: one-way delivery time (inter-node) ==")
 	fmt.Printf("%-10s %14s %14s %14s %14s\n", "size", "host", "gpudirect", "staged", "pipelined")
-	for p := 10; p <= 24; p += 2 {
-		bytes := int64(1) << p
-		host := pathTime(bytes, func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+	// The whole grid (sizes x paths) runs on the worker pool — each
+	// cell simulates on its own 2-node machine — and prints in
+	// deterministic row order afterwards.
+	sizes := []int{10, 12, 14, 16, 18, 20, 22, 24}
+	paths := []func(m *machine.Machine, bytes int64, ready *sim.Signal) *sim.Signal{
+		func(m *machine.Machine, bytes int64, ready *sim.Signal) *sim.Signal {
 			return m.Net.Transfer(0, 1, bytes, ready)
-		})
-		direct := pathTime(bytes, func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+		},
+		func(m *machine.Machine, bytes int64, ready *sim.Signal) *sim.Signal {
 			return m.Net.TransferGPUDirect(0, 1, bytes, ready)
-		})
-		staged := pathTime(bytes, func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+		},
+		func(m *machine.Machine, bytes int64, ready *sim.Signal) *sim.Signal {
 			return m.Net.StagedTransfer(m.GPUOf(0), m.GPUOf(6), 0, 1, bytes, ready)
-		})
-		piped := pathTime(bytes, func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+		},
+		func(m *machine.Machine, bytes int64, ready *sim.Signal) *sim.Signal {
 			return m.Net.PipelinedStagedTransfer(m.GPUOf(0), m.GPUOf(6), 0, 1, bytes,
 				m.Cfg.Net.PipelineChunkSize, ready)
+		},
+	}
+	grid := make([]sim.Time, len(sizes)*len(paths))
+	sweep.Each(len(grid), *jobs, func(i int) {
+		bytes := int64(1) << sizes[i/len(paths)]
+		path := paths[i%len(paths)]
+		grid[i] = pathTime(bytes, func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
+			return path(m, bytes, ready)
 		})
-		fmt.Printf("%-10s %14v %14v %14v %14v\n", size(bytes), host, direct, staged, piped)
+	})
+	for r, p := range sizes {
+		row := grid[r*len(paths) : (r+1)*len(paths)]
+		fmt.Printf("%-10s %14v %14v %14v %14v\n", size(int64(1)<<p), row[0], row[1], row[2], row[3])
 	}
 
 	fmt.Println("\n== effective bandwidth at 16 MiB (GB/s) ==")
 	bytes := int64(16) << 20
-	for _, row := range []struct {
+	bwRows := []struct {
 		name string
 		f    func(m *machine.Machine, ready *sim.Signal) *sim.Signal
 	}{
@@ -56,9 +76,11 @@ func main() {
 		{"intra-node", func(m *machine.Machine, ready *sim.Signal) *sim.Signal {
 			return m.Net.Transfer(0, 0, bytes, ready)
 		}},
-	} {
-		t := pathTime(bytes, row.f)
-		fmt.Printf("  %-12s %6.1f GB/s\n", row.name, float64(bytes)/t.Seconds()/1e9)
+	}
+	bw := make([]sim.Time, len(bwRows))
+	sweep.Each(len(bwRows), *jobs, func(i int) { bw[i] = pathTime(bytes, bwRows[i].f) })
+	for i, row := range bwRows {
+		fmt.Printf("  %-12s %6.1f GB/s\n", row.name, float64(bytes)/bw[i].Seconds()/1e9)
 	}
 
 	fmt.Println("\n== device primitives (V100 model) ==")

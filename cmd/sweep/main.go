@@ -1,34 +1,47 @@
 // Command sweep regenerates the paper's figures on the simulated
 // machine. Each figure id (fig6a..fig9b) maps to one experiment from
-// the per-experiment index in DESIGN.md.
+// the per-experiment index in DESIGN.md. Runs execute concurrently on
+// a worker pool (one private simulation engine per run); output is
+// reassembled in deterministic order, so any -j produces the same
+// table and CSV bytes as -j 1.
 //
 // Usage:
 //
 //	sweep -fig fig7c                # one figure, full node range
 //	sweep -fig all -maxnodes 64     # everything, capped sweep
+//	sweep -fig all -j 4 -v          # 4 workers, progress on stderr
 //	sweep -fig fig7a -csv           # machine-readable output
+//	sweep -fig all -json            # JSON with per-run wall-clock
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"gat/internal/bench"
+	"gat/internal/sweep"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure id (fig6a, fig6b, fig7a, fig7b, fig7c, fig8a, fig8b, fig9a, fig9b) or 'all'")
+	fig := flag.String("fig", "all", "figure id (fig6a, fig6b, fig7a, fig7b, fig7c, fig8a, fig8b, fig9a, fig9b) or 'all' / 'ablations'")
 	maxNodes := flag.Int("maxnodes", 0, "cap the node sweep (0 = paper's full range)")
 	iters := flag.Int("iters", 0, "timed iterations per run (0 = default 10)")
 	warmup := flag.Int("warmup", 0, "warm-up iterations per run (0 = default 3)")
+	jitter := flag.Float64("jitter", 0, "network latency jitter fraction (0 = exactly deterministic; seeded per run)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation runs")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit a JSON report with per-run wall-clock metadata")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	flag.Parse()
 
-	opt := bench.Options{MaxNodes: *maxNodes, Iters: *iters, Warmup: *warmup}
+	opt := sweep.Options{
+		Workers: *jobs,
+		Bench:   bench.Options{MaxNodes: *maxNodes, Iters: *iters, Warmup: *warmup, Jitter: *jitter},
+	}
 	if *verbose {
-		opt.Verbose = os.Stderr
+		opt.Progress = os.Stderr
 	}
 
 	var ids []string
@@ -45,20 +58,26 @@ func main() {
 		ids = []string{*fig}
 	}
 
-	for _, id := range ids {
-		f, err := bench.GenerateAny(id, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if *csv {
-			if err := f.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		} else {
-			f.WriteTable(os.Stdout)
-			fmt.Println()
-		}
+	res, err := sweep.Sweep(ids, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "sweep: %d figures in %v with %d workers\n",
+			len(res.Figures), res.Wall.Round(1e6), res.Workers)
+	}
+
+	switch {
+	case *jsonOut:
+		err = res.WriteJSON(os.Stdout)
+	case *csv:
+		err = res.WriteCSV(os.Stdout)
+	default:
+		res.WriteTables(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

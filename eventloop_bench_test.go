@@ -1,0 +1,105 @@
+// Event-queue benchmarks: the simulator's throughput bound is the
+// engine event loop, so these measure the queue under the classic
+// "hold" workload (pop the earliest event, schedule a replacement a
+// random increment later, repeat) at several queue depths.
+//
+// BenchmarkEventQueue exercises the real engine with its monomorphic
+// 4-ary heap. BenchmarkEventQueueContainerHeap runs the identical
+// workload against a replica of the queue the engine used before —
+// a binary heap behind the container/heap interface, which boxes every
+// event and blocks inlining — so the speedup is directly visible:
+//
+//	go test -run xxx -bench BenchmarkEventQueue
+package gat
+
+import (
+	"container/heap"
+	"testing"
+
+	"gat/internal/sim"
+)
+
+// holdDepths are the standing queue sizes benchmarked; figure sweeps
+// sit in the hundreds-to-thousands range (one event per in-flight
+// message, stream op and parked proc).
+var holdDepths = []struct {
+	name  string
+	depth int
+}{
+	{"depth64", 64},
+	{"depth1k", 1024},
+	{"depth16k", 16384},
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	for _, c := range holdDepths {
+		b.Run(c.name, func(b *testing.B) {
+			e := sim.NewEngine()
+			rng := sim.NewRNG(1)
+			var fn func()
+			fn = func() {
+				e.Schedule(sim.Time(1+rng.Intn(1000)), fn)
+			}
+			for i := 0; i < c.depth; i++ {
+				e.Schedule(sim.Time(1+rng.Intn(1000)), fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			// Each Step pops one event and pushes its replacement.
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+// oldEvent / oldHeap replicate the engine's previous event queue: a
+// binary min-heap driven through the container/heap interface.
+type oldEvent struct {
+	at  sim.Time
+	seq uint64
+	fn  func()
+}
+
+type oldHeap []oldEvent
+
+func (h oldHeap) Len() int { return len(h) }
+func (h oldHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oldHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *oldHeap) Push(x any)   { *h = append(*h, x.(oldEvent)) }
+func (h *oldHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func BenchmarkEventQueueContainerHeap(b *testing.B) {
+	for _, c := range holdDepths {
+		b.Run(c.name, func(b *testing.B) {
+			var h oldHeap
+			rng := sim.NewRNG(1)
+			var now sim.Time
+			seq := uint64(0)
+			fn := func() {}
+			for i := 0; i < c.depth; i++ {
+				seq++
+				heap.Push(&h, oldEvent{at: sim.Time(1 + rng.Intn(1000)), seq: seq, fn: fn})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := heap.Pop(&h).(oldEvent)
+				now = ev.at
+				seq++
+				heap.Push(&h, oldEvent{at: now + sim.Time(1+rng.Intn(1000)), seq: seq, fn: fn})
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module gat
+
+go 1.24

@@ -5,7 +5,6 @@ import (
 
 	"gat/internal/comm"
 	"gat/internal/jacobi"
-	"gat/internal/machine"
 	"gat/internal/sim"
 )
 
@@ -28,103 +27,105 @@ func AblationGenerators() []Generator {
 // ablODF sweeps the overdecomposition factor at a fixed strong-scaling
 // point, the sensitivity behind the paper's per-point best-ODF choice
 // (§IV-A). The x column holds the ODF instead of a node count.
-func ablODF(opt Options) Figure {
+func ablODF(opt Options) Plan {
 	// 3072^3 needs >= 8 nodes to fit in 16 GB per GPU (two grid copies),
 	// which is also why the paper's strong scaling starts at 8 nodes.
 	nodes := scaleNodes(32, opt)
 	if nodes < 8 {
 		nodes = 8
 	}
-	h := Series{Name: "Charm-H"}
-	d := Series{Name: "Charm-D"}
+	b := newPlan(opt, "abl-odf", fmt.Sprintf("ODF sensitivity, 3072^3 on %d nodes", nodes),
+		"odf", "time/iter (ms)", "Charm-H", "Charm-D")
 	for _, odf := range []int{1, 2, 4, 8, 16} {
-		cfg := opt.cfg(strongGlobal)
-		rh := jacobi.RunCharm(machine.New(machine.Summit(nodes)), cfg,
-			jacobi.CharmOpts{ODF: odf}.Optimized())
-		rd := jacobi.RunCharm(machine.New(machine.Summit(nodes)), cfg,
-			jacobi.CharmOpts{ODF: odf, GPUAware: true}.Optimized())
-		h.Points = append(h.Points, Point{Nodes: odf, Value: ms(rh.TimePerIter)})
-		d.Points = append(d.Points, Point{Nodes: odf, Value: ms(rd.TimePerIter)})
-		opt.progress("abl-odf odf=%d charmH=%v charmD=%v", odf, rh.TimePerIter, rd.TimePerIter)
+		for si, co := range []jacobi.CharmOpts{
+			jacobi.CharmOpts{ODF: odf}.Optimized(),
+			jacobi.CharmOpts{ODF: odf, GPUAware: true}.Optimized(),
+		} {
+			b.add(si, odf, nodes, func(s RunSpec) Point {
+				r := runCharm(opt, strongGlobal, nodes, s.Seed, co)
+				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
+				return Point{Nodes: odf, Value: ms(r.TimePerIter)}
+			})
+		}
 	}
-	return Figure{ID: "abl-odf", Title: fmt.Sprintf("ODF sensitivity, 3072^3 on %d nodes", nodes),
-		XLabel: "odf", YLabel: "time/iter (ms)", Series: []Series{h, d}}
+	return b.plan()
 }
 
 // GenerateAny resolves both paper figures and ablations.
 func GenerateAny(id string, opt Options) (Figure, error) {
-	for _, g := range append(Generators(), AblationGenerators()...) {
-		if g.ID == id {
-			return g.Run(opt), nil
-		}
+	p, err := PlanFor(id, opt)
+	if err != nil {
+		return Figure{}, err
 	}
-	return Figure{}, fmt.Errorf("bench: unknown figure %q", id)
+	return p.Run(), nil
 }
 
 // ablPriority compares Charm-D with and without high-priority streams
 // for packing and transfers, strong scaling a 768^3 grid.
-func ablPriority(opt Options) Figure {
-	with := Series{Name: "PriorityStreams"}
-	flat := Series{Name: "FlatPriority"}
+func ablPriority(opt Options) Plan {
+	b := newPlan(opt, "abl-priority", "High-priority communication streams on/off",
+		"nodes", "time/iter (us)", "PriorityStreams", "FlatPriority")
 	for _, n := range nodeSweep(1, 32, opt) {
-		cfg := opt.cfg(fusionGlobal)
-		w := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg,
-			jacobi.CharmOpts{ODF: 4, GPUAware: true}.Optimized())
-		f := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg,
-			jacobi.CharmOpts{ODF: 4, GPUAware: true, FlatPriority: true}.Optimized())
-		with.Points = append(with.Points, Point{Nodes: n, Value: us(w.TimePerIter)})
-		flat.Points = append(flat.Points, Point{Nodes: n, Value: us(f.TimePerIter)})
-		opt.progress("abl-priority nodes=%d with=%v flat=%v", n, w.TimePerIter, f.TimePerIter)
+		for si, co := range []jacobi.CharmOpts{
+			jacobi.CharmOpts{ODF: 4, GPUAware: true}.Optimized(),
+			jacobi.CharmOpts{ODF: 4, GPUAware: true, FlatPriority: true}.Optimized(),
+		} {
+			b.add(si, n, n, func(s RunSpec) Point {
+				r := runCharm(opt, fusionGlobal, n, s.Seed, co)
+				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
+				return Point{Nodes: n, Value: us(r.TimePerIter)}
+			})
+		}
 	}
-	return Figure{ID: "abl-priority", Title: "High-priority communication streams on/off",
-		XLabel: "nodes", YLabel: "time/iter (us)", Series: []Series{with, flat}}
+	return b.plan()
 }
 
 // ablOverlap compares the MPI variant with and without the manual
 // interior/exterior overlap of Fig 1b, weak scaling the large problem.
-func ablOverlap(opt Options) Figure {
-	off := Series{Name: "NoOverlap"}
-	on := Series{Name: "ManualOverlap"}
+func ablOverlap(opt Options) Plan {
+	b := newPlan(opt, "abl-overlap", "Manual overlap in MPI Jacobi3D",
+		"nodes", "time/iter (ms)", "NoOverlap", "ManualOverlap")
 	for _, n := range nodeSweep(1, 32, opt) {
-		cfg := opt.cfg(weakGlobal(weakBaseLarge, n))
-		o := jacobi.RunMPI(machine.New(machine.Summit(n)), cfg, jacobi.MPIOpts{})
-		v := jacobi.RunMPI(machine.New(machine.Summit(n)), cfg, jacobi.MPIOpts{Overlap: true})
-		off.Points = append(off.Points, Point{Nodes: n, Value: ms(o.TimePerIter)})
-		on.Points = append(on.Points, Point{Nodes: n, Value: ms(v.TimePerIter)})
-		opt.progress("abl-overlap nodes=%d off=%v on=%v", n, o.TimePerIter, v.TimePerIter)
+		for si, mo := range []jacobi.MPIOpts{{}, {Overlap: true}} {
+			b.add(si, n, n, func(s RunSpec) Point {
+				r := runMPI(opt, weakGlobal(weakBaseLarge, n), n, s.Seed, mo)
+				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
+				return Point{Nodes: n, Value: ms(r.TimePerIter)}
+			})
+		}
 	}
-	return Figure{ID: "abl-overlap", Title: "Manual overlap in MPI Jacobi3D",
-		XLabel: "nodes", YLabel: "time/iter (ms)", Series: []Series{off, on}}
+	return b.plan()
 }
 
 // ablChannelAPI measures one-way inter-node delivery latency of a
 // device buffer under the Channel API vs the GPU Messaging API across
 // message sizes. The x column holds log2(bytes) instead of nodes.
-func ablChannelAPI(opt Options) Figure {
-	channel := Series{Name: "ChannelAPI"}
-	messaging := Series{Name: "MessagingAPI"}
+func ablChannelAPI(opt Options) Plan {
+	b := newPlan(opt, "abl-chanapi", "Channel API vs GPU Messaging API",
+		"log2B", "one-way latency (us)", "ChannelAPI", "MessagingAPI")
 	for p := 10; p <= 24; p += 2 {
 		bytes := int64(1) << p
-
-		mc := machine.New(machine.Summit(2))
-		ch := comm.NewChannel(mc.Net,
-			comm.Endpoint{Proc: 0, Node: 0}, comm.Endpoint{Proc: 1, Node: 1})
-		var chAt sim.Time
-		ch.Recv(1, 0, func() { chAt = mc.Eng.Now() })
-		ch.Send(0, 0, bytes, sim.FiredSignal(), nil)
-		mc.Eng.Run()
-
-		mm := machine.New(machine.Summit(2))
-		var msgAt sim.Time
-		comm.MessagingSend(mm.Net, comm.DefaultMessagingConfig(),
-			comm.Endpoint{Proc: 0, Node: 0}, comm.Endpoint{Proc: 1, Node: 1},
-			bytes, sim.FiredSignal(), func() { msgAt = mm.Eng.Now() })
-		mm.Eng.Run()
-
-		channel.Points = append(channel.Points, Point{Nodes: p, Value: us(chAt)})
-		messaging.Points = append(messaging.Points, Point{Nodes: p, Value: us(msgAt)})
-		opt.progress("abl-chanapi 2^%d bytes: channel=%v messaging=%v", p, chAt, msgAt)
+		b.add(0, p, 2, func(s RunSpec) Point {
+			mc := opt.machineFor(2, s.Seed)
+			ch := comm.NewChannel(mc.Net,
+				comm.Endpoint{Proc: 0, Node: 0}, comm.Endpoint{Proc: 1, Node: 1})
+			var at sim.Time
+			ch.Recv(1, 0, func() { at = mc.Eng.Now() })
+			ch.Send(0, 0, bytes, sim.FiredSignal(), nil)
+			mc.Eng.Run()
+			opt.progress("%s t=%v", s.Name(), at)
+			return Point{Nodes: p, Value: us(at)}
+		})
+		b.add(1, p, 2, func(s RunSpec) Point {
+			mm := opt.machineFor(2, s.Seed)
+			var at sim.Time
+			comm.MessagingSend(mm.Net, comm.DefaultMessagingConfig(),
+				comm.Endpoint{Proc: 0, Node: 0}, comm.Endpoint{Proc: 1, Node: 1},
+				bytes, sim.FiredSignal(), func() { at = mm.Eng.Now() })
+			mm.Eng.Run()
+			opt.progress("%s t=%v", s.Name(), at)
+			return Point{Nodes: p, Value: us(at)}
+		})
 	}
-	return Figure{ID: "abl-chanapi", Title: "Channel API vs GPU Messaging API",
-		XLabel: "log2B", YLabel: "one-way latency (us)", Series: []Series{channel, messaging}}
+	return b.plan()
 }

@@ -2,6 +2,12 @@
 // the paper's evaluation (§IV), each reproducing the figure's series —
 // workload, parameter sweep, baselines — on the simulated machine and
 // emitting the same rows the paper plots.
+//
+// A generator does not run anything itself: it produces a Plan, a flat
+// list of self-contained RunSpecs (one simulation point each) plus a
+// deterministic assembly step. Plan.Run executes serially; the
+// internal/sweep orchestrator executes the same specs on a worker pool
+// with byte-identical output.
 package bench
 
 import (
@@ -21,8 +27,22 @@ type Options struct {
 	// Warmup and Iters override the iteration counts (0 = defaults:
 	// 3 warm-up, 10 timed).
 	Warmup, Iters int
+	// Jitter, when positive, perturbs each network transfer's latency
+	// by up to this fraction, seeded per run from the RunSpec seed.
+	// Zero (the default) keeps the cost model exactly deterministic.
+	Jitter float64
 	// Verbose, if non-nil, receives progress lines.
 	Verbose io.Writer
+}
+
+// machineFor builds the standard Summit machine for one run, wiring
+// the jitter knobs so equal (options, seed) pairs reproduce equal
+// timelines.
+func (o Options) machineFor(nodes int, seed uint64) *machine.Machine {
+	cfg := machine.Summit(nodes)
+	cfg.Net.JitterFrac = o.Jitter
+	cfg.Net.JitterSeed = seed
+	return machine.New(cfg)
 }
 
 func (o Options) cfg(global [3]int) jacobi.Config {
@@ -61,12 +81,16 @@ type Figure struct {
 	Series []Series
 }
 
-// Generator builds one figure.
+// Generator builds one figure. Plan decomposes the figure into a flat
+// list of independent RunSpecs; Run is the serial reference execution.
 type Generator struct {
 	ID    string
 	Title string
-	Run   func(Options) Figure
+	Plan  func(Options) Plan
 }
+
+// Run generates the figure serially, in spec order.
+func (g Generator) Run(opt Options) Figure { return g.Plan(opt).Run() }
 
 // Generators returns all figure generators in publication order.
 func Generators() []Generator {
@@ -91,6 +115,16 @@ func Generate(id string, opt Options) (Figure, error) {
 		}
 	}
 	return Figure{}, fmt.Errorf("bench: unknown figure %q", id)
+}
+
+// PlanFor resolves id — paper figure or ablation — to its run plan.
+func PlanFor(id string, opt Options) (Plan, error) {
+	for _, g := range append(Generators(), AblationGenerators()...) {
+		if g.ID == id {
+			return g.Plan(opt), nil
+		}
+	}
+	return Plan{}, fmt.Errorf("bench: unknown figure %q", id)
 }
 
 // nodeSweep returns the geometric node-count range [lo..hi] capped by
@@ -127,15 +161,16 @@ func weakGlobal(base [3]int, nodes int) [3]int {
 
 // bestODF runs the Charm variant over the candidate ODFs and returns
 // the fastest result, as the paper does for every Charm data point
-// (§IV-A: "the one with the best performance is chosen").
-func bestODF(cfg jacobi.Config, nodes int, base jacobi.CharmOpts, odfs []int) (jacobi.Result, int) {
+// (§IV-A: "the one with the best performance is chosen"). All
+// candidate runs share one seed: they are alternatives for the same
+// data point, not separate measurements.
+func bestODF(opt Options, cfg jacobi.Config, nodes int, seed uint64, base jacobi.CharmOpts, odfs []int) (jacobi.Result, int) {
 	var best jacobi.Result
 	bestODF := 0
 	for _, odf := range odfs {
-		m := machine.New(machine.Summit(nodes))
 		opts := base
 		opts.ODF = odf
-		r := jacobi.RunCharm(m, cfg, opts)
+		r := jacobi.RunCharm(opt.machineFor(nodes, seed), cfg, opts)
 		if bestODF == 0 || r.TimePerIter < best.TimePerIter {
 			best, bestODF = r, odf
 		}

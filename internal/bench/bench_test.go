@@ -138,7 +138,7 @@ func TestTableAndCSVOutput(t *testing.T) {
 func TestBestODFPicksMinimum(t *testing.T) {
 	cfg := quickOpt().cfg([3]int{192, 192, 192})
 	candidates := []int{1, 2, 4}
-	best, odf := bestODF(cfg, 1, base().Optimized(), candidates)
+	best, odf := bestODF(quickOpt(), cfg, 1, 0, base().Optimized(), candidates)
 	found := false
 	for _, c := range candidates {
 		if odf == c {
@@ -150,7 +150,7 @@ func TestBestODFPicksMinimum(t *testing.T) {
 	}
 	// Re-running the winning ODF must reproduce its time (determinism
 	// of the selection).
-	again, odf2 := bestODF(cfg, 1, base().Optimized(), []int{odf})
+	again, odf2 := bestODF(quickOpt(), cfg, 1, 0, base().Optimized(), []int{odf})
 	if odf2 != odf || again.TimePerIter != best.TimePerIter {
 		t.Fatalf("bestODF not reproducible: %v/%d vs %v/%d",
 			best.TimePerIter, odf, again.TimePerIter, odf2)

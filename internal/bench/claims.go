@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"gat/internal/jacobi"
-	"gat/internal/machine"
 	"gat/internal/sim"
 )
 
@@ -69,19 +68,23 @@ func scaleNodes(hi int, opt Options) int {
 	return n
 }
 
-func runCharm(opt Options, global [3]int, nodes int, co jacobi.CharmOpts) jacobi.Result {
-	return jacobi.RunCharm(machine.New(machine.Summit(nodes)), opt.cfg(global), co)
+// runCharm and runMPI execute one variant on a fresh machine. seed
+// feeds the network jitter RNG (figure specs pass their RunSpec seed;
+// the claim checks pass 0 — they are threshold checks, not figure
+// points).
+func runCharm(opt Options, global [3]int, nodes int, seed uint64, co jacobi.CharmOpts) jacobi.Result {
+	return jacobi.RunCharm(opt.machineFor(nodes, seed), opt.cfg(global), co)
 }
 
-func runMPI(opt Options, global [3]int, nodes int, mo jacobi.MPIOpts) jacobi.Result {
-	return jacobi.RunMPI(machine.New(machine.Summit(nodes)), opt.cfg(global), mo)
+func runMPI(opt Options, global [3]int, nodes int, seed uint64, mo jacobi.MPIOpts) jacobi.Result {
+	return jacobi.RunMPI(opt.machineFor(nodes, seed), opt.cfg(global), mo)
 }
 
 func claimC1(opt Options) ClaimResult {
 	nodes := scaleNodes(4, opt)
 	global := weakGlobal(weakBaseLarge, nodes)
-	_, odfH := bestODF(opt.cfg(global), nodes, jacobi.CharmOpts{}.Optimized(), []int{1, 2, 4, 8})
-	_, odfD := bestODF(opt.cfg(global), nodes, jacobi.CharmOpts{GPUAware: true}.Optimized(), []int{1, 2, 4, 8})
+	_, odfH := bestODF(opt, opt.cfg(global), nodes, 0, jacobi.CharmOpts{}.Optimized(), []int{1, 2, 4, 8})
+	_, odfD := bestODF(opt, opt.cfg(global), nodes, 0, jacobi.CharmOpts{GPUAware: true}.Optimized(), []int{1, 2, 4, 8})
 	return ClaimResult{ID: "C1",
 		Pass:   odfH > 1 && odfD > 1,
 		Detail: fmt.Sprintf("nodes=%d best ODF: Charm-H=%d Charm-D=%d (paper: 4 and 2)", nodes, odfH, odfD)}
@@ -90,8 +93,8 @@ func claimC1(opt Options) ClaimResult {
 func claimC2(opt Options) ClaimResult {
 	nodes := scaleNodes(64, opt)
 	global := weakGlobal(weakBaseLarge, nodes)
-	base := runCharm(opt, global, nodes, jacobi.CharmOpts{ODF: 1}.Optimized())
-	best, odf := bestODF(opt.cfg(global), nodes, jacobi.CharmOpts{GPUAware: true}.Optimized(), []int{1, 2, 4})
+	base := runCharm(opt, global, nodes, 0, jacobi.CharmOpts{ODF: 1}.Optimized())
+	best, odf := bestODF(opt, opt.cfg(global), nodes, 0, jacobi.CharmOpts{GPUAware: true}.Optimized(), []int{1, 2, 4})
 	gain := float64(base.TimePerIter)/float64(best.TimePerIter) - 1
 	return ClaimResult{ID: "C2",
 		Pass: best.TimePerIter < base.TimePerIter,
@@ -105,8 +108,8 @@ func claimC3(opt Options) ClaimResult {
 		nodes = 2
 	}
 	global := weakGlobal(weakBaseLarge, nodes)
-	h := runMPI(opt, global, nodes, jacobi.MPIOpts{})
-	d := runMPI(opt, global, nodes, jacobi.MPIOpts{Device: true})
+	h := runMPI(opt, global, nodes, 0, jacobi.MPIOpts{})
+	d := runMPI(opt, global, nodes, 0, jacobi.MPIOpts{Device: true})
 	ratio := float64(h.TimePerIter) / float64(d.TimePerIter)
 	return ClaimResult{ID: "C3",
 		Pass: ratio < 1.35 && ratio > 0.7,
@@ -117,12 +120,12 @@ func claimC3(opt Options) ClaimResult {
 func claimC4(opt Options) ClaimResult {
 	nodes := scaleNodes(8, opt)
 	global := weakGlobal(weakBaseSmall, nodes)
-	_, odfH := bestODF(opt.cfg(global), nodes, jacobi.CharmOpts{}.Optimized(), []int{1, 2, 4})
-	_, odfD := bestODF(opt.cfg(global), nodes, jacobi.CharmOpts{GPUAware: true}.Optimized(), []int{1, 2, 4})
-	mh := runMPI(opt, global, nodes, jacobi.MPIOpts{})
-	md := runMPI(opt, global, nodes, jacobi.MPIOpts{Device: true})
-	ch := runCharm(opt, global, nodes, jacobi.CharmOpts{ODF: 1}.Optimized())
-	cd := runCharm(opt, global, nodes, jacobi.CharmOpts{ODF: 1, GPUAware: true}.Optimized())
+	_, odfH := bestODF(opt, opt.cfg(global), nodes, 0, jacobi.CharmOpts{}.Optimized(), []int{1, 2, 4})
+	_, odfD := bestODF(opt, opt.cfg(global), nodes, 0, jacobi.CharmOpts{GPUAware: true}.Optimized(), []int{1, 2, 4})
+	mh := runMPI(opt, global, nodes, 0, jacobi.MPIOpts{})
+	md := runMPI(opt, global, nodes, 0, jacobi.MPIOpts{Device: true})
+	ch := runCharm(opt, global, nodes, 0, jacobi.CharmOpts{ODF: 1}.Optimized())
+	cd := runCharm(opt, global, nodes, 0, jacobi.CharmOpts{ODF: 1, GPUAware: true}.Optimized())
 	pass := odfH == 1 && odfD == 1 && md.TimePerIter < mh.TimePerIter && cd.TimePerIter < ch.TimePerIter
 	return ClaimResult{ID: "C4",
 		Pass: pass,
@@ -135,11 +138,11 @@ func claimC5(opt Options) ClaimResult {
 	if nodes < 8 {
 		nodes = 8
 	}
-	h1 := runCharm(opt, strongGlobal, nodes, jacobi.CharmOpts{ODF: 1}.Optimized())
-	h2 := runCharm(opt, strongGlobal, nodes, jacobi.CharmOpts{ODF: 2}.Optimized())
-	d1 := runCharm(opt, strongGlobal, nodes, jacobi.CharmOpts{ODF: 1, GPUAware: true}.Optimized())
-	d2 := runCharm(opt, strongGlobal, nodes, jacobi.CharmOpts{ODF: 2, GPUAware: true}.Optimized())
-	mh := runMPI(opt, strongGlobal, nodes, jacobi.MPIOpts{})
+	h1 := runCharm(opt, strongGlobal, nodes, 0, jacobi.CharmOpts{ODF: 1}.Optimized())
+	h2 := runCharm(opt, strongGlobal, nodes, 0, jacobi.CharmOpts{ODF: 2}.Optimized())
+	d1 := runCharm(opt, strongGlobal, nodes, 0, jacobi.CharmOpts{ODF: 1, GPUAware: true}.Optimized())
+	d2 := runCharm(opt, strongGlobal, nodes, 0, jacobi.CharmOpts{ODF: 2, GPUAware: true}.Optimized())
+	mh := runMPI(opt, strongGlobal, nodes, 0, jacobi.MPIOpts{})
 	gainH := float64(h1.TimePerIter)/float64(h2.TimePerIter) - 1
 	gainD := float64(d1.TimePerIter)/float64(d2.TimePerIter) - 1
 	best := d2.TimePerIter
@@ -157,7 +160,7 @@ func claimC5(opt Options) ClaimResult {
 func claimC6(opt Options) ClaimResult {
 	nodes := scaleNodes(128, opt)
 	run := func(odf int, f jacobi.Fusion) sim.Time {
-		return runCharm(opt, fusionGlobal, nodes,
+		return runCharm(opt, fusionGlobal, nodes, 0,
 			jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: f}.Optimized()).TimePerIter
 	}
 	b1, c1 := run(1, jacobi.FusionNone), run(1, jacobi.FusionC)
@@ -180,9 +183,9 @@ func claimC6(opt Options) ClaimResult {
 func claimC7(opt Options) ClaimResult {
 	nodes := scaleNodes(128, opt)
 	speedup := func(odf int, f jacobi.Fusion) float64 {
-		base := runCharm(opt, fusionGlobal, nodes,
+		base := runCharm(opt, fusionGlobal, nodes, 0,
 			jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: f}.Optimized()).TimePerIter
-		g := runCharm(opt, fusionGlobal, nodes,
+		g := runCharm(opt, fusionGlobal, nodes, 0,
 			jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: f, Graphs: true}.Optimized()).TimePerIter
 		return float64(base) / float64(g)
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"gat/internal/jacobi"
-	"gat/internal/machine"
 )
 
 var weakBaseLarge = [3]int{1536, 1536, 1536}
@@ -14,157 +13,142 @@ var fusionGlobal = [3]int{768, 768, 768}
 
 // fig6a: weak scaling of Charm-H with ODF-4, before vs after the
 // §III-C synchronization/stream optimizations.
-func fig6a(opt Options) Figure {
+func fig6a(opt Options) Plan {
 	return fig6(opt, true)
 }
 
 // fig6b: the strong-scaling companion of fig6a.
-func fig6b(opt Options) Figure {
+func fig6b(opt Options) Plan {
 	return fig6(opt, false)
 }
 
-func fig6(opt Options, weak bool) Figure {
+func fig6(opt Options, weak bool) Plan {
 	id, title := "fig6a", "Weak scaling 1536^3/node: Charm-H before vs after optimizations"
 	lo := 1
 	if !weak {
 		id, title = "fig6b", "Strong scaling 3072^3: Charm-H before vs after optimizations"
 		lo = 8
 	}
-	before := Series{Name: "Before"}
-	after := Series{Name: "After"}
+	b := newPlan(opt, id, title, "nodes", "time/iter (ms)", "Before", "After")
 	for _, n := range nodeSweep(lo, 512, opt) {
 		global := strongGlobal
 		if weak {
 			global = weakGlobal(weakBaseLarge, n)
 		}
-		cfg := opt.cfg(global)
-		b := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg, jacobi.CharmOpts{ODF: 4})
-		a := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg, jacobi.CharmOpts{ODF: 4}.Optimized())
-		before.Points = append(before.Points, Point{Nodes: n, Value: ms(b.TimePerIter)})
-		after.Points = append(after.Points, Point{Nodes: n, Value: ms(a.TimePerIter)})
-		opt.progress("%s nodes=%d before=%v after=%v", id, n, b.TimePerIter, a.TimePerIter)
+		for si, co := range []jacobi.CharmOpts{
+			{ODF: 4},
+			jacobi.CharmOpts{ODF: 4}.Optimized(),
+		} {
+			b.add(si, n, n, func(s RunSpec) Point {
+				r := runCharm(opt, global, n, s.Seed, co)
+				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
+				return Point{Nodes: n, Value: ms(r.TimePerIter)}
+			})
+		}
 	}
-	return Figure{ID: id, Title: title, XLabel: "nodes", YLabel: "time/iter (ms)",
-		Series: []Series{before, after}}
+	return b.plan()
 }
 
-// fourVariants runs MPI-H, MPI-D, Charm-H (best ODF), Charm-D (best
-// ODF) at one node count, the comparison repeated in every panel of
-// Fig 7.
-func fourVariants(opt Options, cfg jacobi.Config, n int, inUS bool) []Point {
+// variantPlan builds the MPI-H / MPI-D / Charm-H / Charm-D comparison
+// repeated in every panel of Fig 7: four independent runs per node
+// count, where the Charm entries each search their best ODF, as the
+// paper does for every Charm data point (§IV-A).
+func variantPlan(opt Options, id, title, ylabel string, lo int, global func(int) [3]int, inUS bool) Plan {
 	conv := ms
 	if inUS {
 		conv = us
 	}
-	mpiH := jacobi.RunMPI(machine.New(machine.Summit(n)), cfg, jacobi.MPIOpts{})
-	mpiD := jacobi.RunMPI(machine.New(machine.Summit(n)), cfg, jacobi.MPIOpts{Device: true})
-	odfs := odfCandidates(n)
-	chH, odfH := bestODF(cfg, n, jacobi.CharmOpts{}.Optimized(), odfs)
-	chD, odfD := bestODF(cfg, n, jacobi.CharmOpts{GPUAware: true}.Optimized(), odfs)
-	opt.progress("nodes=%d mpiH=%v mpiD=%v charmH=%v(odf%d) charmD=%v(odf%d)",
-		n, mpiH.TimePerIter, mpiD.TimePerIter, chH.TimePerIter, odfH, chD.TimePerIter, odfD)
-	return []Point{
-		{Nodes: n, Value: conv(mpiH.TimePerIter)},
-		{Nodes: n, Value: conv(mpiD.TimePerIter)},
-		{Nodes: n, Value: conv(chH.TimePerIter), Meta: fmt.Sprintf("ODF-%d", odfH)},
-		{Nodes: n, Value: conv(chD.TimePerIter), Meta: fmt.Sprintf("ODF-%d", odfD)},
-	}
-}
-
-func variantFigure(opt Options, id, title, ylabel string, lo int, global func(int) [3]int, inUS bool) Figure {
-	series := []Series{{Name: "MPI-H"}, {Name: "MPI-D"}, {Name: "Charm-H"}, {Name: "Charm-D"}}
+	b := newPlan(opt, id, title, "nodes", ylabel, "MPI-H", "MPI-D", "Charm-H", "Charm-D")
 	for _, n := range nodeSweep(lo, 512, opt) {
-		pts := fourVariants(opt, opt.cfg(global(n)), n, inUS)
-		for i := range series {
-			series[i].Points = append(series[i].Points, pts[i])
+		g := global(n)
+		for si, mo := range []jacobi.MPIOpts{{}, {Device: true}} {
+			b.add(si, n, n, func(s RunSpec) Point {
+				r := runMPI(opt, g, n, s.Seed, mo)
+				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
+				return Point{Nodes: n, Value: conv(r.TimePerIter)}
+			})
+		}
+		for i, co := range []jacobi.CharmOpts{
+			jacobi.CharmOpts{}.Optimized(),
+			jacobi.CharmOpts{GPUAware: true}.Optimized(),
+		} {
+			b.add(2+i, n, n, func(s RunSpec) Point {
+				r, odf := bestODF(opt, opt.cfg(g), n, s.Seed, co, odfCandidates(n))
+				opt.progress("%s t=%v (odf%d)", s.Name(), r.TimePerIter, odf)
+				return Point{Nodes: n, Value: conv(r.TimePerIter), Meta: fmt.Sprintf("ODF-%d", odf)}
+			})
 		}
 	}
-	return Figure{ID: id, Title: title, XLabel: "nodes", YLabel: ylabel, Series: series}
+	return b.plan()
 }
 
 // fig7a: weak scaling with the large base problem (1536^3 per node).
-func fig7a(opt Options) Figure {
-	return variantFigure(opt, "fig7a", "Weak scaling 1536^3/node: MPI-H, MPI-D, Charm-H, Charm-D",
+func fig7a(opt Options) Plan {
+	return variantPlan(opt, "fig7a", "Weak scaling 1536^3/node: MPI-H, MPI-D, Charm-H, Charm-D",
 		"time/iter (ms)", 1, func(n int) [3]int { return weakGlobal(weakBaseLarge, n) }, false)
 }
 
 // fig7b: weak scaling with the small base problem (192^3 per node),
 // reported in microseconds.
-func fig7b(opt Options) Figure {
-	return variantFigure(opt, "fig7b", "Weak scaling 192^3/node: MPI-H, MPI-D, Charm-H, Charm-D",
+func fig7b(opt Options) Plan {
+	return variantPlan(opt, "fig7b", "Weak scaling 192^3/node: MPI-H, MPI-D, Charm-H, Charm-D",
 		"time/iter (us)", 1, func(n int) [3]int { return weakGlobal(weakBaseSmall, n) }, true)
 }
 
 // fig7c: strong scaling of the fixed 3072^3 grid.
-func fig7c(opt Options) Figure {
-	return variantFigure(opt, "fig7c", "Strong scaling 3072^3: MPI-H, MPI-D, Charm-H, Charm-D",
+func fig7c(opt Options) Plan {
+	return variantPlan(opt, "fig7c", "Strong scaling 3072^3: MPI-H, MPI-D, Charm-H, Charm-D",
 		"time/iter (ms)", 8, func(int) [3]int { return strongGlobal }, false)
+}
+
+// fusionStrategies is the strategy axis of Figs 8 and 9.
+var fusionStrategies = []jacobi.Fusion{
+	jacobi.FusionNone, jacobi.FusionA, jacobi.FusionB, jacobi.FusionC,
 }
 
 // fig8 runs the kernel-fusion comparison: Charm-D on a 768^3 grid
 // scaled to 128 nodes, at a fixed ODF.
-func fig8(opt Options, id string, odf int) Figure {
-	strategies := []struct {
-		name string
-		f    jacobi.Fusion
-	}{
-		{"Baseline", jacobi.FusionNone},
-		{"StrategyA", jacobi.FusionA},
-		{"StrategyB", jacobi.FusionB},
-		{"StrategyC", jacobi.FusionC},
-	}
-	series := make([]Series, len(strategies))
-	for i, s := range strategies {
-		series[i].Name = s.name
-	}
+func fig8(opt Options, id string, odf int) Plan {
+	b := newPlan(opt, id, fmt.Sprintf("Kernel fusion, 768^3, ODF-%d", odf),
+		"nodes", "time/iter (ms)", "Baseline", "StrategyA", "StrategyB", "StrategyC")
 	for _, n := range nodeSweep(1, 128, opt) {
-		cfg := opt.cfg(fusionGlobal)
-		for i, s := range strategies {
-			r := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg,
-				jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: s.f}.Optimized())
-			series[i].Points = append(series[i].Points, Point{Nodes: n, Value: ms(r.TimePerIter)})
-			opt.progress("%s nodes=%d fusion=%s t=%v", id, n, s.f, r.TimePerIter)
+		for si, f := range fusionStrategies {
+			b.add(si, n, n, func(s RunSpec) Point {
+				r := runCharm(opt, fusionGlobal, n, s.Seed,
+					jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: f}.Optimized())
+				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
+				return Point{Nodes: n, Value: ms(r.TimePerIter)}
+			})
 		}
 	}
-	return Figure{ID: id, Title: fmt.Sprintf("Kernel fusion, 768^3, ODF-%d", odf),
-		XLabel: "nodes", YLabel: "time/iter (ms)", Series: series}
+	return b.plan()
 }
 
-func fig8a(opt Options) Figure { return fig8(opt, "fig8a", 1) }
-func fig8b(opt Options) Figure { return fig8(opt, "fig8b", 8) }
+func fig8a(opt Options) Plan { return fig8(opt, "fig8a", 1) }
+func fig8b(opt Options) Plan { return fig8(opt, "fig8b", 8) }
 
 // fig9 measures the speedup from CUDA graphs under each fusion
-// strategy: speedup = t(no graphs) / t(graphs).
-func fig9(opt Options, id string, odf int) Figure {
-	strategies := []struct {
-		name string
-		f    jacobi.Fusion
-	}{
-		{"NoFusion", jacobi.FusionNone},
-		{"FusionA", jacobi.FusionA},
-		{"FusionB", jacobi.FusionB},
-		{"FusionC", jacobi.FusionC},
-	}
-	series := make([]Series, len(strategies))
-	for i, s := range strategies {
-		series[i].Name = s.name
-	}
+// strategy: speedup = t(no graphs) / t(graphs). Each spec runs its
+// base/graphed pair back to back so the ratio is self-contained.
+func fig9(opt Options, id string, odf int) Plan {
+	b := newPlan(opt, id, fmt.Sprintf("CUDA-graph speedup vs fusion, 768^3, ODF-%d", odf),
+		"nodes", "speedup (x)", "NoFusion", "FusionA", "FusionB", "FusionC")
 	for _, n := range nodeSweep(1, 128, opt) {
-		cfg := opt.cfg(fusionGlobal)
-		for i, s := range strategies {
-			base := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg,
-				jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: s.f}.Optimized())
-			graphed := jacobi.RunCharm(machine.New(machine.Summit(n)), cfg,
-				jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: s.f, Graphs: true}.Optimized())
-			speedup := float64(base.TimePerIter) / float64(graphed.TimePerIter)
-			series[i].Points = append(series[i].Points, Point{Nodes: n, Value: speedup})
-			opt.progress("%s nodes=%d fusion=%s base=%v graphed=%v speedup=%.2f",
-				id, n, s.f, base.TimePerIter, graphed.TimePerIter, speedup)
+		for si, f := range fusionStrategies {
+			b.add(si, n, n, func(s RunSpec) Point {
+				co := jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: f}.Optimized()
+				base := runCharm(opt, fusionGlobal, n, s.Seed, co)
+				co.Graphs = true
+				graphed := runCharm(opt, fusionGlobal, n, s.Seed, co)
+				speedup := float64(base.TimePerIter) / float64(graphed.TimePerIter)
+				opt.progress("%s base=%v graphed=%v speedup=%.2f",
+					s.Name(), base.TimePerIter, graphed.TimePerIter, speedup)
+				return Point{Nodes: n, Value: speedup}
+			})
 		}
 	}
-	return Figure{ID: id, Title: fmt.Sprintf("CUDA-graph speedup vs fusion, 768^3, ODF-%d", odf),
-		XLabel: "nodes", YLabel: "speedup (x)", Series: series}
+	return b.plan()
 }
 
-func fig9a(opt Options) Figure { return fig9(opt, "fig9a", 1) }
-func fig9b(opt Options) Figure { return fig9(opt, "fig9b", 8) }
+func fig9a(opt Options) Plan { return fig9(opt, "fig9a", 1) }
+func fig9b(opt Options) Plan { return fig9(opt, "fig9b", 8) }

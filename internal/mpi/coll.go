@@ -1,5 +1,7 @@
 package mpi
 
+import "sync/atomic"
+
 // Collective tags live in a reserved negative space so they never
 // collide with application point-to-point tags.
 const (
@@ -10,13 +12,16 @@ const (
 	tagReduceBase    = -1 << 24
 )
 
-var collEpoch int
+var collEpoch atomic.Int64
 
 // nextEpoch hands out a unique tag offset per collective invocation.
-// The simulator runs one proc at a time, so a plain counter is safe.
+// Application code passes explicit epochs (see internal/jacobi); only
+// tests draw from this counter today. It is atomic anyway because the
+// counter is process-global while engines may run concurrently under
+// the sweep orchestrator — a plain int would be a latent race for the
+// next caller.
 func nextEpoch() int {
-	collEpoch++
-	return collEpoch
+	return int(collEpoch.Add(1))
 }
 
 // Barrier synchronizes all ranks with a dissemination barrier:

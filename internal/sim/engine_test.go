@@ -161,9 +161,29 @@ func TestTimeString(t *testing.T) {
 }
 
 func TestDurationOf(t *testing.T) {
-	// 23 GB/s, 23 bytes -> 1 ns.
-	if d := DurationOf(23, 23e9); d != 1 {
-		t.Fatalf("DurationOf = %v, want 1ns", d)
+	cases := []struct {
+		name        string
+		bytes       int64
+		bytesPerSec float64
+		want        Time
+	}{
+		// Exact divisions: the quotient is an integer nanosecond count.
+		{"exact 1ns", 23, 23e9, 1},
+		{"exact 1us", 1000, 1e9, 1 * Microsecond},
+		{"exact 1s", 12_500_000_000, 12.5e9, Second},
+		{"zero bytes", 0, 1e9, 0},
+		// Fractional results: round half-up, never truncate.
+		{"0.5ns rounds up", 1, 2e9, 1},               // 0.5 ns
+		{"0.25ns rounds down", 1, 4e9, 0},            // 0.25 ns
+		{"0.75ns rounds up", 3, 4e9, 1},              // 0.75 ns
+		{"just under half", 49, 100e9, 0},            // 0.49 ns
+		{"just over half", 51, 100e9, 1},             // 0.51 ns
+		{"large fractional", 1 << 20, 12.5e9, 83886}, // 83886.08 ns
+	}
+	for _, c := range cases {
+		if got := DurationOf(c.bytes, c.bytesPerSec); got != c.want {
+			t.Errorf("%s: DurationOf(%d, %g) = %v, want %v", c.name, c.bytes, c.bytesPerSec, got, c.want)
+		}
 	}
 	defer func() {
 		if recover() == nil {
@@ -171,4 +191,40 @@ func TestDurationOf(t *testing.T) {
 		}
 	}()
 	DurationOf(1, 0)
+}
+
+func TestEventHeapOrdering(t *testing.T) {
+	// Push a scrambled schedule and verify pops come back sorted by
+	// (time, insertion order). The RNG makes heavy duplicate times so
+	// the seq tiebreak is actually exercised.
+	var h eventHeap
+	rng := NewRNG(42)
+	const n = 2000
+	for seq := uint64(1); seq <= n; seq++ {
+		h.pushEv(event{at: Time(rng.Intn(50)), seq: seq})
+	}
+	var last event
+	for i := 0; i < n; i++ {
+		e := h.popMin()
+		if i > 0 && e.before(last) {
+			t.Fatalf("pop %d out of order: (%v,%d) after (%v,%d)", i, e.at, e.seq, last.at, last.seq)
+		}
+		last = e
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not drained: %d left", len(h))
+	}
+}
+
+func TestEventHeapPopClearsSlot(t *testing.T) {
+	// The vacated tail slot must not retain the popped event's closure.
+	var h eventHeap
+	fn := func() {}
+	h.pushEv(event{at: 1, seq: 1, fn: fn})
+	h.pushEv(event{at: 2, seq: 2, fn: fn})
+	h.popMin()
+	tail := h[:cap(h)][len(h)]
+	if tail.fn != nil || tail.at != 0 || tail.seq != 0 {
+		t.Fatalf("vacated slot still live: %+v", tail)
+	}
 }

@@ -1,0 +1,91 @@
+package sweep
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON report schema, version gat-sweep-v1. Figure values are fully
+// deterministic; the wall_ns fields and the header's workers/wall_ns
+// are host-side measurements and vary run to run.
+
+type jsonReport struct {
+	Schema  string       `json:"schema"`
+	Workers int          `json:"workers"`
+	WallNS  int64        `json:"wall_ns"`
+	Figures []jsonFigure `json:"figures"`
+}
+
+type jsonFigure struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"xlabel"`
+	YLabel string       `json:"ylabel"`
+	Series []jsonSeries `json:"series"`
+	Runs   []jsonRun    `json:"runs"`
+}
+
+type jsonSeries struct {
+	Name   string      `json:"name"`
+	Points []jsonPoint `json:"points"`
+}
+
+type jsonPoint struct {
+	X     int     `json:"x"`
+	Value float64 `json:"value"`
+	Meta  string  `json:"meta,omitempty"`
+}
+
+// jsonRun is the per-run record: enough to re-execute the spec in
+// isolation (figure, series, x, nodes, iteration counts, seed) plus
+// the host wall-clock it cost.
+type jsonRun struct {
+	Figure string `json:"figure"`
+	Series string `json:"series"`
+	X      int    `json:"x"`
+	Nodes  int    `json:"nodes"`
+	Warmup int    `json:"warmup"`
+	Iters  int    `json:"iters"`
+	Seed   uint64 `json:"seed"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// WriteJSON renders the sweep as an indented gat-sweep-v1 document.
+func (r Result) WriteJSON(w io.Writer) error {
+	rep := jsonReport{
+		Schema:  "gat-sweep-v1",
+		Workers: r.Workers,
+		WallNS:  r.Wall.Nanoseconds(),
+	}
+	for _, f := range r.Figures {
+		jf := jsonFigure{
+			ID:     f.Figure.ID,
+			Title:  f.Figure.Title,
+			XLabel: f.Figure.XLabel,
+			YLabel: f.Figure.YLabel,
+		}
+		for _, s := range f.Figure.Series {
+			js := jsonSeries{Name: s.Name, Points: []jsonPoint{}}
+			for _, p := range s.Points {
+				js.Points = append(js.Points, jsonPoint{X: p.Nodes, Value: p.Value, Meta: p.Meta})
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		for _, run := range f.Runs {
+			jf.Runs = append(jf.Runs, jsonRun{
+				Figure: run.Spec.FigID,
+				Series: run.Spec.Series,
+				X:      run.Spec.X,
+				Nodes:  run.Spec.Nodes,
+				Warmup: run.Spec.Warmup,
+				Iters:  run.Spec.Iters,
+				Seed:   run.Spec.Seed,
+				WallNS: run.Wall.Nanoseconds(),
+			})
+		}
+		rep.Figures = append(rep.Figures, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

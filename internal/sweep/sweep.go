@@ -1,0 +1,194 @@
+// Package sweep is the parallel figure-sweep orchestrator. It takes
+// the flat RunSpec plans that internal/bench produces, executes the
+// specs on a worker pool — every run builds its own machine and
+// private sim.Engine, so runs never share state — and reassembles the
+// results in deterministic spec order. Table and CSV output is
+// therefore byte-identical to the serial path regardless of worker
+// count or scheduling; only the per-run wall-clock metadata in the
+// JSON report varies between hosts.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"gat/internal/bench"
+)
+
+// Options tunes a sweep.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Bench is passed through to the figure plan builders.
+	Bench bench.Options
+	// Progress, if non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run is one executed RunSpec with its result and host-side cost.
+type Run struct {
+	Spec  bench.RunSpec
+	Point bench.Point
+	// Wall is the host wall-clock time the run took. Metadata only:
+	// it never influences figure values or output ordering.
+	Wall time.Duration
+}
+
+// FigureResult is one reassembled figure plus its per-run metadata.
+type FigureResult struct {
+	Figure bench.Figure
+	Runs   []Run // in spec order
+}
+
+// Result is a completed sweep.
+type Result struct {
+	Figures []FigureResult
+	// Wall is the host wall-clock for the whole sweep; Workers the
+	// pool size that produced it.
+	Wall    time.Duration
+	Workers int
+}
+
+// Each runs fn(0..n-1) on up to workers goroutines and returns when
+// all calls finished. fn must write its result at its own index; Each
+// imposes no output ordering of its own. It is the primitive under
+// Sweep, exported for other embarrassingly parallel grids (e.g.
+// cmd/microbench's transfer-path matrix).
+func Each(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// job addresses one spec within one figure plan.
+type job struct {
+	fig, spec int
+}
+
+// Sweep generates every figure in ids concurrently and reassembles
+// them in the order given. Unknown ids fail before any run starts.
+func Sweep(ids []string, opt Options) (Result, error) {
+	// Serialize the bench progress writer: run closures log from
+	// worker goroutines.
+	if opt.Bench.Verbose != nil {
+		opt.Bench.Verbose = &lockedWriter{w: opt.Bench.Verbose}
+	}
+
+	plans := make([]bench.Plan, len(ids))
+	var jobs []job
+	for i, id := range ids {
+		p, err := bench.PlanFor(id, opt.Bench)
+		if err != nil {
+			return Result{}, err
+		}
+		plans[i] = p
+		for s := range p.Specs {
+			jobs = append(jobs, job{fig: i, spec: s})
+		}
+	}
+
+	runs := make([][]Run, len(plans))
+	for i, p := range plans {
+		runs[i] = make([]Run, len(p.Specs))
+	}
+
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	start := time.Now()
+	Each(len(jobs), opt.workers(), func(j int) {
+		fig, si := jobs[j].fig, jobs[j].spec
+		spec := plans[fig].Specs[si]
+		t0 := time.Now()
+		pt := spec.Execute()
+		runs[fig][si] = Run{Spec: spec, Point: pt, Wall: time.Since(t0)}
+		if opt.Progress != nil {
+			mu.Lock()
+			done++
+			fmt.Fprintf(opt.Progress, "[%d/%d] %-24s %10.3f  (%v)\n",
+				done, len(jobs), spec.Name(), pt.Value, runs[fig][si].Wall.Round(time.Millisecond))
+			mu.Unlock()
+		}
+	})
+
+	res := Result{Wall: time.Since(start), Workers: opt.workers()}
+	for i, p := range plans {
+		points := make([]bench.Point, len(p.Specs))
+		for s, r := range runs[i] {
+			points[s] = r.Point
+		}
+		res.Figures = append(res.Figures, FigureResult{
+			Figure: p.Assemble(points),
+			Runs:   runs[i],
+		})
+	}
+	return res, nil
+}
+
+// WriteTables renders every figure as an aligned text table, blank
+// line separated — the same bytes the serial path prints.
+func (r Result) WriteTables(w io.Writer) {
+	for _, f := range r.Figures {
+		f.Figure.WriteTable(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV renders every figure as CSV, each with its own header row —
+// the same bytes the serial path prints.
+func (r Result) WriteCSV(w io.Writer) error {
+	for _, f := range r.Figures {
+		if err := f.Figure.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lockedWriter serializes whole Write calls from concurrent runs.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check check sweep-smoke bench-queue
+.PHONY: all build test vet fmt-check check sweep-smoke bench-queue bench
 
 all: check
 
@@ -34,5 +34,19 @@ sweep-smoke:
 
 bench-queue:
 	$(GO) test -run xxx -bench BenchmarkEventQueue -benchtime 1000000x .
+
+# Engine hot-path benchmarks, recorded into the gat-bench-v1 trajectory
+# file. BENCH_LABEL selects the slot to (re)record; the committed
+# BENCH_PR2.json keeps the PR's baseline for comparison, so the default
+# refreshes "after" and prints the delta table.
+BENCH_PATTERN := 'BenchmarkZeroDelayLane|BenchmarkSignalFanout|BenchmarkProcPingPong|BenchmarkJacobiStep|BenchmarkEventQueue/'
+BENCH_LABEL ?= after
+# The bench output lands in a temp file first so a mid-run benchmark
+# failure aborts before benchjson can overwrite the trajectory file
+# with partial medians.
+bench:
+	@$(GO) build -o /tmp/gat-benchjson ./cmd/benchjson
+	$(GO) test -run xxx -bench $(BENCH_PATTERN) -benchmem -count=6 . > /tmp/gat-bench-out.txt
+	/tmp/gat-benchjson -label $(BENCH_LABEL) -out BENCH_PR2.json -in /tmp/gat-bench-out.txt
 
 check: build vet fmt-check test sweep-smoke

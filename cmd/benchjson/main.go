@@ -1,0 +1,179 @@
+// Command benchjson converts `go test -bench` output into the
+// gat-bench-v1 JSON schema and merges it into a trajectory file, so
+// performance PRs can commit machine-readable before/after numbers.
+//
+// Schema (gat-bench-v1): one object per label (e.g. "baseline",
+// "after"), mapping benchmark name to aggregated ns/op, B/op and
+// allocs/op. With -count > 1 the per-benchmark samples are aggregated
+// by median, which is robust to scheduling noise on shared hosts.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem -count=6 . | benchjson -label after -out BENCH_PR2.json
+//
+// If the output file already exists, the new label is merged in and
+// existing labels are preserved; re-running a label replaces it. When
+// both "baseline" and "after" are present, a comparison table is
+// printed to stderr.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is the aggregated measurement of one benchmark.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	Samples  int     `json:"samples"`
+}
+
+// File is the on-disk trajectory document.
+type File struct {
+	Schema string                       `json:"schema"`
+	Labels map[string]map[string]Result `json:"labels"`
+}
+
+// benchLine matches one benchmark result line, e.g.
+// "BenchmarkFoo/depth64-8   123456   789.0 ns/op   12 B/op   3 allocs/op".
+// The -cpu suffix is stripped so labels stay host-independent.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+func parse(r io.Reader) (map[string][]Result, error) {
+	samples := make(map[string][]Result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := Result{}
+		res.NsOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			res.BOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			res.AllocsOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		samples[m[1]] = append(samples[m[1]], res)
+	}
+	return samples, sc.Err()
+}
+
+// median aggregates one benchmark's samples field-wise.
+func median(rs []Result) Result {
+	pick := func(get func(Result) float64) float64 {
+		vals := make([]float64, len(rs))
+		for i, r := range rs {
+			vals[i] = get(r)
+		}
+		sort.Float64s(vals)
+		n := len(vals)
+		if n%2 == 1 {
+			return vals[n/2]
+		}
+		return (vals[n/2-1] + vals[n/2]) / 2
+	}
+	return Result{
+		NsOp:     pick(func(r Result) float64 { return r.NsOp }),
+		BOp:      pick(func(r Result) float64 { return r.BOp }),
+		AllocsOp: pick(func(r Result) float64 { return r.AllocsOp }),
+		Samples:  len(rs),
+	}
+}
+
+func main() {
+	label := flag.String("label", "run", "label to record these results under (e.g. baseline, after)")
+	out := flag.String("out", "", "trajectory file to merge into (default: write JSON to stdout)")
+	in := flag.String("in", "", "bench output file to read (default: stdin)")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		src = f
+	}
+	samples, err := parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(2)
+	}
+	agg := make(map[string]Result, len(samples))
+	for name, rs := range samples {
+		agg[name] = median(rs)
+	}
+
+	doc := File{Schema: "gat-bench-v1", Labels: map[string]map[string]Result{}}
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not valid gat-bench JSON: %v\n", *out, err)
+				os.Exit(2)
+			}
+		}
+		if doc.Labels == nil {
+			doc.Labels = map[string]map[string]Result{}
+		}
+	}
+	doc.Schema = "gat-bench-v1"
+	doc.Labels[*label] = agg
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if base, ok := doc.Labels["baseline"]; ok {
+		if after, ok := doc.Labels["after"]; ok {
+			compare(os.Stderr, base, after)
+		}
+	}
+}
+
+// compare prints a baseline-vs-after delta table.
+func compare(w io.Writer, base, after map[string]Result) {
+	names := make([]string, 0, len(after))
+	for name := range after {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-42s %12s %12s %8s %10s\n", "benchmark", "base ns/op", "after ns/op", "delta", "allocs")
+	for _, name := range names {
+		b, a := base[name], after[name]
+		delta := 0.0
+		if b.NsOp > 0 {
+			delta = (a.NsOp - b.NsOp) / b.NsOp * 100
+		}
+		fmt.Fprintf(w, "%-42s %12.1f %12.1f %+7.1f%% %4.0f -> %.0f\n",
+			name, b.NsOp, a.NsOp, delta, b.AllocsOp, a.AllocsOp)
+	}
+}

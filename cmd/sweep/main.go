@@ -30,7 +30,7 @@ func main() {
 	iters := flag.Int("iters", 0, "timed iterations per run (0 = default 10)")
 	warmup := flag.Int("warmup", 0, "warm-up iterations per run (0 = default 3)")
 	jitter := flag.Float64("jitter", 0, "network latency jitter fraction (0 = exactly deterministic; seeded per run)")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation runs")
+	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulation runs (default: all CPUs)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit a JSON report with per-run wall-clock metadata")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")

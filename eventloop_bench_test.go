@@ -1,21 +1,32 @@
-// Event-queue benchmarks: the simulator's throughput bound is the
-// engine event loop, so these measure the queue under the classic
+// Event-loop benchmarks: the simulator's throughput bound is the
+// engine event loop, so these measure its hot paths.
+//
+// BenchmarkEventQueue exercises the timed-event queue under the classic
 // "hold" workload (pop the earliest event, schedule a replacement a
 // random increment later, repeat) at several queue depths.
+// BenchmarkEventQueueContainerHeap runs the identical workload against
+// a replica of the queue the engine used before PR 1 — a binary heap
+// behind the container/heap interface, which boxes every event and
+// blocks inlining — so that speedup stays directly visible.
 //
-// BenchmarkEventQueue exercises the real engine with its monomorphic
-// 4-ary heap. BenchmarkEventQueueContainerHeap runs the identical
-// workload against a replica of the queue the engine used before —
-// a binary heap behind the container/heap interface, which boxes every
-// event and blocks inlining — so the speedup is directly visible:
+// The remaining benchmarks target the steady-state scheduling paths a
+// simulation actually spends its time in: zero-delay self-rescheduling
+// (BenchmarkZeroDelayLane), signal fan-out wakeups
+// (BenchmarkSignalFanout), proc park/resume round trips
+// (BenchmarkProcPingPong), and a full Jacobi3D iteration end to end
+// (BenchmarkJacobiStep). Run them all with:
 //
-//	go test -run xxx -bench BenchmarkEventQueue
+//	go test -run xxx -bench . -benchmem
+//
+// make bench records their trajectory into BENCH_PR2.json.
 package gat
 
 import (
 	"container/heap"
 	"testing"
 
+	"gat/internal/jacobi"
+	"gat/internal/machine"
 	"gat/internal/sim"
 )
 
@@ -78,6 +89,98 @@ func (h *oldHeap) Pop() any {
 	e := old[n-1]
 	*h = old[:n-1]
 	return e
+}
+
+// BenchmarkZeroDelayLane measures the dominant event class of a real
+// simulation: events scheduled with zero delay (signal wakeups, queue
+// wakeups, yields, resume thunks). A standing population of 64
+// self-rescheduling zero-delay events is stepped one event at a time;
+// the virtual clock never advances. The steady state must be 0
+// allocs/op.
+func BenchmarkZeroDelayLane(b *testing.B) {
+	e := sim.NewEngine()
+	var fn func()
+	fn = func() { e.Schedule(0, fn) }
+	for i := 0; i < 64; i++ {
+		e.Schedule(0, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkSignalFanout measures one Signal.Fire waking 8 parked procs
+// — the completion-broadcast shape of Waitall, barrier rounds, and
+// stream drains. Signals are one-shot, so each round uses a fresh
+// pre-allocated signal; the per-op cost is the fire, 8 wakeup events,
+// and 8 park/resume transfers.
+func BenchmarkSignalFanout(b *testing.B) {
+	const fanout = 8
+	e := sim.NewEngine()
+	sigs := make([]*sim.Signal, b.N)
+	for i := range sigs {
+		sigs[i] = sim.NewSignal()
+	}
+	for w := 0; w < fanout; w++ {
+		e.Spawn("waiter", func(p *sim.Proc) {
+			for _, s := range sigs {
+				p.Wait(s)
+			}
+		})
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		eng := p.Engine()
+		for _, s := range sigs {
+			s.Fire(eng)
+			p.Yield() // let this round's waiters run and re-park
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkProcPingPong measures one full proc-to-proc round trip: two
+// procs exchange a token through two queues, so each op is two queue
+// wakeups and two park/resume control transfers. The steady state must
+// be 0 allocs/op — this is the path under every blocking MPI call.
+func BenchmarkProcPingPong(b *testing.B) {
+	e := sim.NewEngine()
+	q1, q2 := sim.NewQueue[int](), sim.NewQueue[int]()
+	n := b.N
+	e.Spawn("ping", func(p *sim.Proc) {
+		eng := p.Engine()
+		for i := 0; i < n; i++ {
+			q1.Push(eng, i)
+			q2.Pop(p)
+		}
+	})
+	e.Spawn("pong", func(p *sim.Proc) {
+		eng := p.Engine()
+		for i := 0; i < n; i++ {
+			q1.Pop(p)
+			q2.Push(eng, i)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkJacobiStep measures one timed Jacobi3D iteration end to end
+// (MPI-D variant, 2 Summit nodes = 12 ranks), the workload every
+// figure sweep is made of. b.N becomes the run's timed iteration
+// count, so setup and warm-up amortize away and ns/op approaches the
+// host cost of simulating one iteration.
+func BenchmarkJacobiStep(b *testing.B) {
+	m := machine.New(machine.Summit(2))
+	cfg := jacobi.Config{Global: [3]int{96, 96, 96}, Warmup: 1, Iters: b.N}
+	opts := jacobi.MPIOpts{Device: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	jacobi.RunMPI(m, cfg, opts)
 }
 
 func BenchmarkEventQueueContainerHeap(b *testing.B) {

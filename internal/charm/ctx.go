@@ -65,7 +65,7 @@ func (ctx *Ctx) LaunchKernel(s *gpu.Stream, label string, dur sim.Time) *sim.Sig
 	out := sim.NewSignal()
 	eng := ctx.Engine()
 	eng.At(ctx.clock, func() {
-		s.Kernel(label, dur).OnFire(eng, func() { out.Fire(eng) })
+		s.Kernel(label, dur).Chain(eng, out)
 	})
 	return out
 }
@@ -86,7 +86,7 @@ func (ctx *Ctx) EnqueueCopy(s *gpu.Stream, dir gpu.CopyDir, bytes int64, after *
 		if after != nil {
 			s.WaitSignal(after)
 		}
-		s.Copy(dir, bytes).OnFire(eng, func() { out.Fire(eng) })
+		s.Copy(dir, bytes).Chain(eng, out)
 	})
 	return out
 }
@@ -102,7 +102,7 @@ func (ctx *Ctx) LaunchGraph(s *gpu.Stream, g *gpu.Graph) *sim.Signal {
 	out := sim.NewSignal()
 	eng := ctx.Engine()
 	eng.At(ctx.clock, func() {
-		s.Launch(g).OnFire(eng, func() { out.Fire(eng) })
+		s.Launch(g).Chain(eng, out)
 	})
 	return out
 }

@@ -139,7 +139,7 @@ func (a *Array) RebalanceGreedy(stateBytes int64) *sim.Signal {
 		return done
 	}
 	counter := sim.NewCounter(moves)
-	counter.Done().OnFire(rt.Engine(), func() { done.Fire(rt.Engine()) })
+	counter.Done().Chain(rt.Engine(), done)
 	for i, el := range a.elems {
 		if assign[i] != a.peOf[i] {
 			a.Migrate(el.Idx, assign[i], stateBytes, func() { counter.Add(rt.Engine()) })

@@ -13,7 +13,6 @@
 package gpu
 
 import (
-	"container/heap"
 	"fmt"
 
 	"gat/internal/sim"
@@ -99,6 +98,16 @@ type Device struct {
 	busyAccum sim.Time
 	seq       uint64
 
+	// The compute engine is a serial server, so at most one item is in
+	// flight; its bookkeeping lives on the device and the completion
+	// event schedules completeFn — one thunk created at New, instead of
+	// one closure allocated per dispatched kernel.
+	curService sim.Time
+	curStart   sim.Time
+	curLabel   string
+	curDone    func()
+	completeFn func()
+
 	d2h, h2d *sim.Pipe
 
 	kernelCount uint64
@@ -115,7 +124,7 @@ func New(e *sim.Engine, name string, cfg Config) *Device {
 	if capacity == 0 {
 		capacity = MemCapacityV100
 	}
-	return &Device{
+	d := &Device{
 		eng:         e,
 		cfg:         cfg,
 		name:        name,
@@ -123,6 +132,8 @@ func New(e *sim.Engine, name string, cfg Config) *Device {
 		h2d:         sim.NewPipe(e, name+"/h2d", cfg.CopyBandwidth, cfg.CopySetup),
 		memCapacity: capacity,
 	}
+	d.completeFn = d.complete
+	return d
 }
 
 // Name returns the device name.
@@ -166,49 +177,108 @@ type readyItem struct {
 	done    func()
 }
 
+// readyHeap is a monomorphic 4-ary min-heap ordered by (prio, seq),
+// mirroring the engine's event heap: the container/heap interface would
+// box every readyItem on Push and Pop, and kernel dispatch sits on the
+// per-iteration hot path of every simulation.
 type readyHeap []readyItem
 
-func (h readyHeap) Len() int { return len(h) }
-func (h readyHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
+// before reports whether a dispatches before b: higher priority (lower
+// value) first, then submission order.
+func (a readyItem) before(b readyItem) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
-func (h *readyHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// push inserts it, holding it aside and shifting displaced parents
+// down — one copy per level instead of a swap.
+func (h *readyHeap) push(it readyItem) {
+	q := append(*h, it)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !it.before(q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = it
+	*h = q
+}
+
+// popMin removes and returns the first item to dispatch, zeroing the
+// vacated tail slot so it does not retain the item's done closure.
+func (h *readyHeap) popMin() readyItem {
+	q := *h
+	min := q[0]
+	n := len(q) - 1
+	tail := q[n]
+	q[n] = readyItem{}
+	q = q[:n]
+	*h = q
+	if n == 0 {
+		return min
+	}
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if q[j].before(q[best]) {
+				best = j
+			}
+		}
+		if !q[best].before(tail) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = tail
+	return min
 }
 
 // submitCompute queues work for the serial compute engine.
 func (d *Device) submitCompute(prio int, label string, service sim.Time, done func()) {
 	d.seq++
-	heap.Push(&d.ready, readyItem{prio: prio, seq: d.seq, service: service, label: label, done: done})
+	d.ready.push(readyItem{prio: prio, seq: d.seq, service: service, label: label, done: done})
 	d.tryDispatch()
 }
 
 func (d *Device) tryDispatch() {
-	if d.busy || d.ready.Len() == 0 {
+	if d.busy || len(d.ready) == 0 {
 		return
 	}
-	it := heap.Pop(&d.ready).(readyItem)
+	it := d.ready.popMin()
 	d.busy = true
-	start := d.eng.Now()
 	d.kernelCount++
-	d.eng.Schedule(it.service, func() {
-		d.busyAccum += it.service
-		if tr := d.eng.Tracer(); tr != nil {
-			tr.Add(sim.Span{Resource: d.name, Label: it.label, Start: start, End: d.eng.Now()})
-		}
-		d.busy = false
-		it.done()
-		d.tryDispatch()
-	})
+	d.curService, d.curStart, d.curLabel, d.curDone = it.service, d.eng.Now(), it.label, it.done
+	d.eng.At(d.eng.Now()+it.service, d.completeFn)
+}
+
+// complete finishes the in-flight compute item. The current item's
+// fields are copied out first: done() may submit new work, which
+// re-dispatches and overwrites them.
+func (d *Device) complete() {
+	service, start, label, done := d.curService, d.curStart, d.curLabel, d.curDone
+	d.curDone = nil
+	d.busyAccum += service
+	if tr := d.eng.Tracer(); tr != nil {
+		tr.Add(sim.Span{Resource: d.name, Label: label, Start: start, End: d.eng.Now()})
+	}
+	d.busy = false
+	done()
+	d.tryDispatch()
 }
 
 func (d *Device) copyPipe(dir CopyDir) *sim.Pipe {

@@ -65,7 +65,9 @@ func (s *Stream) Launch(g *Graph) *sim.Signal {
 	if g.Len() == 0 {
 		return sim.FiredSignal()
 	}
-	return s.enqueue(&op{kind: opGraph, label: "graph", graph: g})
+	o := s.newOp()
+	o.kind, o.label, o.graph = opGraph, "graph", g
+	return s.enqueue(o)
 }
 
 // launchGraphInstance executes one instance of o.graph, calling complete

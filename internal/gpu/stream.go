@@ -10,12 +10,39 @@ type Stream struct {
 	name string
 	prio int
 	ops  []*op // pending; ops[0] is the in-flight head
+	// completeFn finishes the in-flight head op. A stream executes one
+	// op at a time, so a single thunk created at NewStream serves every
+	// op instead of allocating a completion closure per op.
+	completeFn func()
+	// chunk is a block of ops handed out sequentially, amortizing op
+	// allocation to one make per opChunkSize enqueues. Ops are never
+	// recycled — their embedded done signals may outlive completion in
+	// caller hands — so a chunk is garbage-collected as a unit once
+	// every op in it is dropped.
+	chunk    []op
+	chunkIdx int
+}
+
+// opChunkSize is the op-block allocation granularity.
+const opChunkSize = 32
+
+// newOp returns a zeroed op from the stream's current chunk.
+func (s *Stream) newOp() *op {
+	if s.chunkIdx == len(s.chunk) {
+		s.chunk = make([]op, opChunkSize)
+		s.chunkIdx = 0
+	}
+	o := &s.chunk[s.chunkIdx]
+	s.chunkIdx++
+	return o
 }
 
 // NewStream creates a stream with the given priority (PriorityHigh or
 // PriorityNormal).
 func (d *Device) NewStream(name string, prio int) *Stream {
-	return &Stream{dev: d, name: name, prio: prio}
+	s := &Stream{dev: d, name: name, prio: prio}
+	s.completeFn = s.complete
+	return s
 }
 
 // Device returns the owning device.
@@ -47,50 +74,56 @@ type op struct {
 	cb    func()      // callback body
 	wait  *sim.Signal // gate for opWait
 	graph *Graph      // for opGraph
-	done  *sim.Signal
+	done  sim.Signal  // embedded: one allocation per op, not two
 }
 
 func (s *Stream) enqueue(o *op) *sim.Signal {
-	o.done = sim.NewSignal()
 	s.ops = append(s.ops, o)
 	if len(s.ops) == 1 {
 		s.startHead()
 	}
-	return o.done
+	return &o.done
 }
 
 // startHead begins executing the op at the head of the stream.
 func (s *Stream) startHead() {
 	o := s.ops[0]
 	d := s.dev
-	complete := func() {
-		o.done.Fire(d.eng)
-		s.ops = s.ops[1:]
-		if len(s.ops) > 0 {
-			s.startHead()
-		}
-	}
 	switch o.kind {
 	case opKernel:
-		d.submitCompute(s.prio, o.label, d.cfg.KernelDispatch+o.dur, complete)
+		d.submitCompute(s.prio, o.label, d.cfg.KernelDispatch+o.dur, s.completeFn)
 	case opCopy:
 		d.copyCount++
-		d.copyPipe(o.dir).Transfer(o.bytes).OnFire(d.eng, complete)
+		d.copyPipe(o.dir).Transfer(o.bytes).OnFire(d.eng, s.completeFn)
 	case opCallback:
 		// Host callback: runs as an event at the current time, then the
 		// stream advances.
 		d.eng.Schedule(0, func() {
 			o.cb()
-			complete()
+			s.complete()
 		})
 	case opEvent:
-		complete()
+		s.complete()
 	case opWait:
-		o.wait.OnFire(d.eng, complete)
+		o.wait.OnFire(d.eng, s.completeFn)
 	case opGraph:
-		s.launchGraphInstance(o, complete)
+		s.launchGraphInstance(o, s.completeFn)
 	default:
 		panic("gpu: unknown op kind")
+	}
+}
+
+// complete finishes the head op: fire its signal, dequeue it
+// (capacity-preserving, so a steady enqueue/complete cycle never
+// reallocates), and start the next.
+func (s *Stream) complete() {
+	o := s.ops[0]
+	o.done.Fire(s.dev.eng)
+	n := copy(s.ops, s.ops[1:])
+	s.ops[n] = nil
+	s.ops = s.ops[:n]
+	if len(s.ops) > 0 {
+		s.startHead()
 	}
 }
 
@@ -98,7 +131,9 @@ func (s *Stream) startHead() {
 // its completion signal. The caller is responsible for charging
 // Config.KernelLaunchHost to the launching CPU.
 func (s *Stream) Kernel(label string, dur sim.Time) *sim.Signal {
-	return s.enqueue(&op{kind: opKernel, label: label, dur: dur})
+	o := s.newOp()
+	o.kind, o.label, o.dur = opKernel, label, dur
+	return s.enqueue(o)
 }
 
 // KernelBytes enqueues a memory-bound kernel whose duration is derived
@@ -110,14 +145,18 @@ func (s *Stream) KernelBytes(label string, bytes int64) *sim.Signal {
 // Copy enqueues an async DMA transfer of the given size and direction.
 // The caller charges Config.CopyLaunchHost to the launching CPU.
 func (s *Stream) Copy(dir CopyDir, bytes int64) *sim.Signal {
-	return s.enqueue(&op{kind: opCopy, label: dir.String(), bytes: bytes, dir: dir})
+	o := s.newOp()
+	o.kind, o.label, o.bytes, o.dir = opCopy, dir.String(), bytes, dir
+	return s.enqueue(o)
 }
 
 // OnComplete enqueues a host callback that runs when all previously
 // enqueued work on the stream has finished. This is the mechanism behind
 // HAPI-style asynchronous completion detection.
 func (s *Stream) OnComplete(cb func()) {
-	s.enqueue(&op{kind: opCallback, label: "callback", cb: cb})
+	o := s.newOp()
+	o.kind, o.label, o.cb = opCallback, "callback", cb
+	s.enqueue(o)
 }
 
 // Event is a CUDA-event analogue: a marker recorded on a stream whose
@@ -129,20 +168,25 @@ func (ev *Event) Done() *sim.Signal { return ev.sig }
 
 // RecordEvent records an event on the stream.
 func (s *Stream) RecordEvent() *Event {
-	sig := s.enqueue(&op{kind: opEvent, label: "event"})
-	return &Event{sig: sig}
+	o := s.newOp()
+	o.kind, o.label = opEvent, "event"
+	return &Event{sig: s.enqueue(o)}
 }
 
 // WaitEvent blocks subsequent work on s until ev (recorded on another
 // stream) completes — the cross-stream dependency primitive.
 func (s *Stream) WaitEvent(ev *Event) *sim.Signal {
-	return s.enqueue(&op{kind: opWait, label: "waitEvent", wait: ev.sig})
+	o := s.newOp()
+	o.kind, o.label, o.wait = opWait, "waitEvent", ev.sig
+	return s.enqueue(o)
 }
 
 // WaitSignal blocks subsequent work on s until an arbitrary simulation
 // signal fires (e.g. network data arrival before an unpack kernel).
 func (s *Stream) WaitSignal(sig *sim.Signal) *sim.Signal {
-	return s.enqueue(&op{kind: opWait, label: "waitSignal", wait: sig})
+	o := s.newOp()
+	o.kind, o.label, o.wait = opWait, "waitSignal", sig
+	return s.enqueue(o)
 }
 
 // Sync blocks the calling proc until all currently enqueued work on the

@@ -54,6 +54,13 @@ func RunMPI(m *machine.Machine, cfg Config, opts MPIOpts) Result {
 		updS := dev.NewStream("update", gpu.PriorityNormal)
 		p := r.Proc()
 
+		// Per-iteration scratch, hoisted out of the loop and reset with
+		// [:0] so the steady state allocates nothing.
+		packSigs := make([]*sim.Signal, 0, len(nbrs))
+		d2hSigs := make([]*sim.Signal, 0, len(nbrs))
+		unpackSigs := make([]*sim.Signal, 0, len(nbrs))
+		reqs := make([]*mpi.Request, 0, 2*len(nbrs))
+
 		for iter := 0; iter < total; iter++ {
 			if iter == cfg.Warmup {
 				r.Barrier(warmEpoch)
@@ -62,8 +69,8 @@ func RunMPI(m *machine.Machine, cfg Config, opts MPIOpts) Result {
 				}
 			}
 			// Pack halo faces on the high-priority stream.
-			packSigs := make([]*sim.Signal, 0, len(nbrs))
-			d2hSigs := make([]*sim.Signal, 0, len(nbrs))
+			packSigs = packSigs[:0]
+			d2hSigs = d2hSigs[:0]
 			for _, nb := range nbrs {
 				r.Compute(gcfg.KernelLaunchHost)
 				sig := packS.KernelBytes("pack", packKernelBytes(blk.FaceCells(nb.Face/2)))
@@ -83,7 +90,7 @@ func RunMPI(m *machine.Machine, cfg Config, opts MPIOpts) Result {
 			}
 
 			// Non-blocking halo exchange.
-			reqs := make([]*mpi.Request, 0, 2*len(nbrs))
+			reqs = reqs[:0]
 			for _, nb := range nbrs {
 				peer := d.Flatten(nb.Idx)
 				bytes := blk.FaceBytes(nb.Face)
@@ -101,7 +108,7 @@ func RunMPI(m *machine.Machine, cfg Config, opts MPIOpts) Result {
 			r.Waitall(reqs...)
 
 			// Unpack received halos; host staging needs H2D first.
-			unpackSigs := make([]*sim.Signal, 0, len(nbrs))
+			unpackSigs = unpackSigs[:0]
 			for _, nb := range nbrs {
 				if !opts.Device {
 					r.Compute(gcfg.CopyLaunchHost)

@@ -1,7 +1,5 @@
 package mpi
 
-import "sync/atomic"
-
 // Collective tags live in a reserved negative space so they never
 // collide with application point-to-point tags.
 const (
@@ -12,16 +10,16 @@ const (
 	tagReduceBase    = -1 << 24
 )
 
-var collEpoch atomic.Int64
-
-// nextEpoch hands out a unique tag offset per collective invocation.
-// Application code passes explicit epochs (see internal/jacobi); only
-// tests draw from this counter today. It is atomic anyway because the
-// counter is process-global while engines may run concurrently under
-// the sweep orchestrator — a plain int would be a latent race for the
-// next caller.
-func nextEpoch() int {
-	return int(collEpoch.Add(1))
+// NextEpoch hands out a unique tag offset per collective invocation on
+// this world. The counter lives on the World — not in a process-global
+// — so concurrent sweep runs, each with a private World and engine, can
+// never observe each other's epochs drifting the tag space. All ranks
+// of one collective must share the epoch value, so one rank (or the
+// driver) draws it and the others receive it; application code passes
+// explicit epochs (see internal/jacobi).
+func (w *World) NextEpoch() int {
+	w.collEpoch++
+	return w.collEpoch
 }
 
 // Barrier synchronizes all ranks with a dissemination barrier:

@@ -11,7 +11,7 @@ func TestBcastReachesAllRanks(t *testing.T) {
 	for _, nodes := range []int{1, 2} {
 		for root := 0; root < 3; root++ {
 			w := testWorld(nodes)
-			epoch := nextEpoch()
+			epoch := w.NextEpoch()
 			done := 0
 			w.Run(func(r *Rank) {
 				r.Bcast(epoch, root, 4096)
@@ -27,7 +27,7 @@ func TestBcastReachesAllRanks(t *testing.T) {
 
 func TestBcastRootLeavesFirst(t *testing.T) {
 	w := testWorld(2)
-	epoch := nextEpoch()
+	epoch := w.NextEpoch()
 	times := make([]sim.Time, 12)
 	w.Run(func(r *Rank) {
 		r.Bcast(epoch, 0, 1<<20)
@@ -45,7 +45,7 @@ func TestBcastRootLeavesFirst(t *testing.T) {
 func TestReduceCompletesAllRoots(t *testing.T) {
 	w := testWorld(2)
 	done := 0
-	epoch1, epoch2 := nextEpoch(), nextEpoch()
+	epoch1, epoch2 := w.NextEpoch(), w.NextEpoch()
 	w.Run(func(r *Rank) {
 		r.Reduce(epoch1, 0, 8)
 		r.Reduce(epoch2, 5, 8)
@@ -65,10 +65,10 @@ func TestCollectivesSingleRankFastPath(t *testing.T) {
 	}
 	done := false
 	w.Run(func(r *Rank) {
-		r.Barrier(nextEpoch())
-		r.Allreduce(nextEpoch(), 8)
-		r.Bcast(nextEpoch(), 0, 1024)
-		r.Reduce(nextEpoch(), 0, 8)
+		r.Barrier(r.w.NextEpoch())
+		r.Allreduce(r.w.NextEpoch(), 8)
+		r.Bcast(r.w.NextEpoch(), 0, 1024)
+		r.Reduce(r.w.NextEpoch(), 0, 8)
 		done = true
 	})
 	if !done {
@@ -80,7 +80,7 @@ func TestBcastThenReducePipeline(t *testing.T) {
 	// A bcast followed by a reduce with distinct epochs must not
 	// deadlock or cross-match tags.
 	w := testWorld(1)
-	e1, e2 := nextEpoch(), nextEpoch()
+	e1, e2 := w.NextEpoch(), w.NextEpoch()
 	done := 0
 	w.Run(func(r *Rank) {
 		r.Bcast(e1, 2, 1024)
@@ -95,7 +95,7 @@ func TestBcastThenReducePipeline(t *testing.T) {
 func TestJacobiResidualOptionRuns(t *testing.T) {
 	// The residual allreduce must add time, not hang.
 	w := testWorld(1)
-	epoch := nextEpoch()
+	epoch := w.NextEpoch()
 	var withAt sim.Time
 	w.Run(func(r *Rank) {
 		r.Compute(10 * sim.Microsecond)

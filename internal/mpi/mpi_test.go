@@ -149,7 +149,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 	w := testWorld(2) // 12 ranks
 	arrive := make([]sim.Time, 12)
 	depart := make([]sim.Time, 12)
-	epoch := nextEpoch() // one epoch shared by all ranks
+	epoch := w.NextEpoch() // one epoch shared by all ranks
 	w.Run(func(r *Rank) {
 		// Stagger arrivals.
 		r.Compute(sim.Time(r.ID()) * 10 * sim.Microsecond)
@@ -171,10 +171,10 @@ func TestBarrierSynchronizes(t *testing.T) {
 }
 
 func TestBarrierSharedEpoch(t *testing.T) {
-	// All ranks must use the same epoch; nextEpoch per rank would
+	// All ranks must use the same epoch; NextEpoch per rank would
 	// deadlock. Verify the documented usage pattern works twice in a row.
 	w := testWorld(1)
-	epoch1, epoch2 := nextEpoch(), nextEpoch()
+	epoch1, epoch2 := w.NextEpoch(), w.NextEpoch()
 	finished := 0
 	w.Run(func(r *Rank) {
 		r.Barrier(epoch1)
@@ -189,7 +189,7 @@ func TestBarrierSharedEpoch(t *testing.T) {
 func TestAllreduceCompletes(t *testing.T) {
 	for _, ranks := range []int{1, 2} { // 6 and 12 ranks (non-pow2)
 		w := testWorld(ranks)
-		epoch := nextEpoch()
+		epoch := w.NextEpoch()
 		done := 0
 		w.Run(func(r *Rank) {
 			r.Allreduce(epoch, 8)
@@ -203,7 +203,7 @@ func TestAllreduceCompletes(t *testing.T) {
 
 func TestGatherCompletes(t *testing.T) {
 	w := testWorld(1)
-	epoch := nextEpoch()
+	epoch := w.NextEpoch()
 	done := 0
 	w.Run(func(r *Rank) {
 		r.Gather(epoch, 0, 1024)

@@ -9,32 +9,44 @@ import "gat/internal/sim"
 // sizes Jacobi3D exchanges).
 func (r *Rank) Isend(dst, tag int, bytes int64, kind BufKind) *Request {
 	r.proc.Sleep(r.w.Opt.CallOverhead)
-	req := &Request{done: sim.NewSignal()}
+	req := &Request{}
 	w := r.w
 	key := matchKey{src: r.id, dst: dst, tag: tag}
-	if rs := w.recvs[key]; len(rs) > 0 {
-		pr := rs[0]
-		w.recvs[key] = rs[1:]
+	s := w.slot(key)
+	if len(s.recvs) > 0 {
+		pr := s.recvs[0]
+		n := copy(s.recvs, s.recvs[1:])
+		s.recvs[n] = pendingRecv{}
+		s.recvs = s.recvs[:n]
+		if n == 0 && len(s.sends) == 0 {
+			w.release(key, s)
+		}
 		w.start(key, bytes, kind, pr.kind, req, pr.req)
 		return req
 	}
-	w.sends[key] = append(w.sends[key], &pendingSend{bytes: bytes, kind: kind, req: req})
+	s.sends = append(s.sends, pendingSend{bytes: bytes, kind: kind, req: req})
 	return req
 }
 
 // Irecv posts a non-blocking receive from rank src with the given tag.
 func (r *Rank) Irecv(src, tag int, kind BufKind) *Request {
 	r.proc.Sleep(r.w.Opt.CallOverhead)
-	req := &Request{done: sim.NewSignal()}
+	req := &Request{}
 	w := r.w
 	key := matchKey{src: src, dst: r.id, tag: tag}
-	if ss := w.sends[key]; len(ss) > 0 {
-		ps := ss[0]
-		w.sends[key] = ss[1:]
+	s := w.slot(key)
+	if len(s.sends) > 0 {
+		ps := s.sends[0]
+		n := copy(s.sends, s.sends[1:])
+		s.sends[n] = pendingSend{}
+		s.sends = s.sends[:n]
+		if n == 0 && len(s.recvs) == 0 {
+			w.release(key, s)
+		}
 		w.start(key, ps.bytes, ps.kind, kind, ps.req, req)
 		return req
 	}
-	w.recvs[key] = append(w.recvs[key], &pendingRecv{kind: kind, req: req})
+	s.recvs = append(s.recvs, pendingRecv{kind: kind, req: req})
 	return req
 }
 
@@ -68,7 +80,7 @@ func (w *World) start(key matchKey, bytes int64, sendKind, recvKind BufKind, sre
 // Wait blocks until the request completes.
 func (r *Rank) Wait(req *Request) {
 	r.proc.Sleep(r.w.Opt.CallOverhead)
-	r.proc.Wait(req.done)
+	r.proc.Wait(&req.done)
 }
 
 // Waitall blocks until every request completes, charging a single call
@@ -76,6 +88,6 @@ func (r *Rank) Wait(req *Request) {
 func (r *Rank) Waitall(reqs ...*Request) {
 	r.proc.Sleep(r.w.Opt.CallOverhead)
 	for _, req := range reqs {
-		r.proc.Wait(req.done)
+		r.proc.Wait(&req.done)
 	}
 }

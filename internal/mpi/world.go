@@ -51,12 +51,54 @@ type World struct {
 	Opt   Options
 	ranks []*Rank
 
-	sends map[matchKey][]*pendingSend
-	recvs map[matchKey][]*pendingRecv
+	// match holds unmatched sends and receives keyed by (src, dst,
+	// tag). Both directions share one slot so posting an operation
+	// costs a single map lookup — tag matching is on the per-message
+	// hot path, and hashing the three-int key twice showed up in
+	// profiles. Emptied slots are deleted and recycled through free:
+	// halo-exchange tags embed the iteration number, so without
+	// recycling the map would grow by every key ever used over a run.
+	match map[matchKey]*matchSlot
+	free  []*matchSlot
+
+	// collEpoch backs NextEpoch. Per-world state: a process-global
+	// counter would be shared by concurrently sweeping runs.
+	collEpoch int
 }
 
 type matchKey struct {
 	src, dst, tag int
+}
+
+// matchSlot queues unmatched operations for one (src, dst, tag). The
+// queues pop head-first by copy-down, preserving capacity: a matched
+// pair usually leaves the slot empty, and the next iteration's
+// operations reuse the backing arrays.
+type matchSlot struct {
+	sends []pendingSend
+	recvs []pendingRecv
+}
+
+func (w *World) slot(key matchKey) *matchSlot {
+	s := w.match[key]
+	if s == nil {
+		if n := len(w.free); n > 0 {
+			s = w.free[n-1]
+			w.free[n-1] = nil
+			w.free = w.free[:n-1]
+		} else {
+			s = &matchSlot{}
+		}
+		w.match[key] = s
+	}
+	return s
+}
+
+// release returns an emptied slot to the freelist. Its backing arrays
+// come along, so the next key reuses them.
+func (w *World) release(key matchKey, s *matchSlot) {
+	delete(w.match, key)
+	w.free = append(w.free, s)
 }
 
 type pendingSend struct {
@@ -70,9 +112,11 @@ type pendingRecv struct {
 	req  *Request
 }
 
-// Request is a non-blocking operation handle.
+// Request is a non-blocking operation handle. The completion signal is
+// embedded so posting an operation costs one allocation, not two —
+// requests are made per message on the simulation's hottest path.
 type Request struct {
-	done *sim.Signal
+	done sim.Signal
 }
 
 // Done reports whether the operation completed.
@@ -83,8 +127,7 @@ func NewWorld(m *machine.Machine, opt Options) *World {
 	w := &World{
 		M:     m,
 		Opt:   opt,
-		sends: make(map[matchKey][]*pendingSend),
-		recvs: make(map[matchKey][]*pendingRecv),
+		match: make(map[matchKey]*matchSlot),
 	}
 	for i := 0; i < m.Procs(); i++ {
 		w.ranks = append(w.ranks, &Rank{w: w, id: i})

@@ -195,7 +195,7 @@ func (n *Network) Transfer(src, dst int, bytes int64, ready *sim.Signal) *sim.Si
 		if e := downEnd + n.cfg.LatencyPerHop; e > rxEnd {
 			rxEnd = e
 		}
-		n.eng.At(rxEnd, func() { arrived.Fire(n.eng) })
+		n.eng.FireAt(rxEnd, arrived)
 	})
 	return arrived
 }
@@ -206,7 +206,7 @@ func After(e *sim.Engine, sig *sim.Signal, d sim.Time) *sim.Signal {
 		return sig
 	}
 	out := sim.NewSignal()
-	sig.OnFire(e, func() { e.Schedule(d, func() { out.Fire(e) }) })
+	sig.OnFire(e, func() { e.FireAt(e.Now()+d, out) })
 	return out
 }
 
@@ -219,13 +219,13 @@ func (n *Network) TransferGPUDirect(src, dst int, bytes int64, ready *sim.Signal
 	if bytes >= n.cfg.RendezvousThreshold && src != dst {
 		gate := sim.NewSignal()
 		ready.OnFire(n.eng, func() {
-			n.eng.Schedule(n.RTT(src, dst), func() { gate.Fire(n.eng) })
+			n.eng.FireAt(n.eng.Now()+n.RTT(src, dst), gate)
 		})
 		start = gate
 	}
 	gated := sim.NewSignal()
 	start.OnFire(n.eng, func() {
-		n.eng.Schedule(n.cfg.GPUDirectOverhead, func() { gated.Fire(n.eng) })
+		n.eng.FireAt(n.eng.Now()+n.cfg.GPUDirectOverhead, gated)
 	})
 	return n.Transfer(src, dst, bytes, gated)
 }

@@ -67,7 +67,7 @@ func (n *Network) PipelinedStagedTransfer(srcDev, dstDev *gpu.Device, src, dst i
 		dstStream.WaitSignal(arrived)
 		h2dDone := dstStream.Copy(gpu.H2D, c)
 		if i == lastIdx {
-			h2dDone.OnFire(n.eng, func() { done.Fire(n.eng) })
+			h2dDone.Chain(n.eng, done)
 		}
 	}
 	return done

@@ -16,6 +16,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Time is a virtual time instant or duration in nanoseconds.
@@ -29,6 +30,10 @@ const (
 	Millisecond Time = 1000 * Microsecond
 	Second      Time = 1000 * Millisecond
 )
+
+// maxTime is the largest representable instant, used as the limit of an
+// unbounded Run.
+const maxTime = Time(1<<62 - 1)
 
 // Seconds returns t as a floating-point number of seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
@@ -68,10 +73,35 @@ func DurationOf(bytes int64, bytesPerSec float64) Time {
 	return Time(math.Floor(float64(bytes)/bytesPerSec*float64(Second) + 0.5))
 }
 
+// event is one scheduled action: either a callback or, when isSig is
+// set, "fire this signal" — the completion idiom of every transfer
+// model, carried directly so it costs no closure. The payload is packed
+// into a single pointer word (a func value is one pointer to its
+// funcval; a *Signal is one pointer) so the event stays at 32 bytes —
+// sift operations copy events, and a fatter event measurably slows the
+// heap's hold workload.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	ptr   unsafe.Pointer // *funcval (callback) or *Signal (isSig)
+	isSig bool
+}
+
+// fnToPtr extracts a func value's single-word runtime representation.
+// Storing it in an unsafe.Pointer field keeps the closure reachable for
+// the GC (the field is scanned as a pointer).
+func fnToPtr(fn func()) unsafe.Pointer { return *(*unsafe.Pointer)(unsafe.Pointer(&fn)) }
+
+// ptrToFn reconstitutes a func value packed by fnToPtr.
+func ptrToFn(p unsafe.Pointer) func() { return *(*func())(unsafe.Pointer(&p)) }
+
+// dispatch executes the event's action.
+func (ev event) dispatch(e *Engine) {
+	if ev.isSig {
+		(*Signal)(ev.ptr).Fire(e)
+		return
+	}
+	ptrToFn(ev.ptr)()
 }
 
 // eventHeap is a monomorphic 4-ary min-heap ordered by (at, seq). It
@@ -83,8 +113,6 @@ type event struct {
 // push-pop workload of a discrete-event queue.
 type eventHeap []event
 
-func (h eventHeap) peek() event { return h[0] }
-
 // before reports whether a fires before b: earlier time, then earlier
 // insertion sequence, so same-time events keep FIFO order.
 func (a event) before(b event) bool {
@@ -94,17 +122,23 @@ func (a event) before(b event) bool {
 	return a.seq < b.seq
 }
 
-// pushEv inserts e, sifting it up toward the root.
+// pushEv inserts e, sifting it up toward the root. The sift holds e
+// aside and shifts displaced parents down, one copy per level instead
+// of a three-copy swap; in the common no-movement case (a new event
+// later than its parent) nothing is written beyond the append.
 func (h *eventHeap) pushEv(e event) {
 	q := append(*h, e)
 	i := len(q) - 1
-	for i > 0 {
-		p := (i - 1) / 4
-		if !q[i].before(q[p]) {
-			break
+	if i > 0 && e.before(q[(i-1)/4]) {
+		for i > 0 {
+			p := (i - 1) / 4
+			if !e.before(q[p]) {
+				break
+			}
+			q[i] = q[p]
+			i = p
 		}
-		q[i], q[p] = q[p], q[i]
-		i = p
+		q[i] = e
 	}
 	*h = q
 }
@@ -117,12 +151,15 @@ func (h *eventHeap) popMin() event {
 	q := *h
 	min := q[0]
 	n := len(q) - 1
-	q[0] = q[n]
+	tail := q[n]
 	q[n] = event{}
 	q = q[:n]
 	*h = q
-	// Sift the displaced tail element down: swap with the smallest of
-	// up to four children until none fires earlier.
+	if n == 0 {
+		return min
+	}
+	// Sift the hole at the root down, pulling the smallest child up one
+	// copy per level, until the displaced tail element fits.
 	i := 0
 	for {
 		c := 4*i + 1
@@ -139,25 +176,49 @@ func (h *eventHeap) popMin() event {
 				best = j
 			}
 		}
-		if !q[best].before(q[i]) {
+		if !q[best].before(tail) {
 			break
 		}
-		q[i], q[best] = q[best], q[i]
+		q[i] = q[best]
 		i = best
 	}
+	q[i] = tail
 	return min
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct with NewEngine.
+//
+// Internally the engine keeps two event stores that together implement
+// exact (time, sequence) order: the heap for timed events, and a FIFO
+// lane for zero-delay events — the dominant class in a real simulation
+// (signal wakeups, queue wakeups, yields, proc resumes). Because a
+// zero-delay event both carries the current timestamp and outranks, by
+// sequence, every heap event that could still be scheduled at that
+// timestamp, FIFO order within the lane is exactly (time, seq) order;
+// only heap events already queued at the current instant can outrank
+// the lane head, and a single peek detects that.
 type Engine struct {
+	// Hot fields first, grouped so the run loop touches few cache
+	// lines: every dispatched event reads now/seq/nEvents and one of
+	// lane/events.
 	now     Time
 	seq     uint64
-	events  eventHeap
-	handoff chan struct{} // procs signal here when they park or exit
-	nEvents uint64        // total events executed, for diagnostics
-	tracer  *Tracer
+	nEvents uint64 // total events executed, for diagnostics
+	// limit is the bound of the RunUntil call currently executing.
+	// Proc.Sleep consults it for the direct-resume fast path: a proc may
+	// fast-forward the clock only within the active run window.
+	limit   Time
 	stopped bool
+	// noLane routes zero-delay events through the heap instead of the
+	// FIFO lane. Test hook only: the ordering-equivalence test runs the
+	// same workload both ways and asserts identical event order.
+	noLane bool
+	lane   eventLane
+	events eventHeap
+
+	handoff chan struct{} // procs signal here when they park or exit
+	tracer  *Tracer
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -188,32 +249,71 @@ func (e *Engine) Schedule(d Time, fn func()) {
 }
 
 // At queues fn to run at absolute time t, which must not be in the past.
-func (e *Engine) At(t Time, fn func()) {
+// Zero-delay events (t equal to the current time) take the FIFO lane,
+// skipping the heap entirely while keeping exact (time, seq) order.
+func (e *Engine) At(t Time, fn func()) { e.push(t, fnToPtr(fn), false) }
+
+// push routes an event — callback or fire-signal form — to the lane or
+// the heap.
+func (e *Engine) push(t Time, ptr unsafe.Pointer, isSig bool) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
 	}
 	e.seq++
-	e.events.pushEv(event{at: t, seq: e.seq, fn: fn})
+	if t == e.now && !e.noLane {
+		e.lane.push(laneEvent{seq: e.seq, ptr: ptr, isSig: isSig})
+		return
+	}
+	e.events.pushEv(event{at: t, seq: e.seq, ptr: ptr, isSig: isSig})
 }
 
 // Run executes events until the queue is empty or Stop is called.
 // It returns the final virtual time.
-func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+func (e *Engine) Run() Time { return e.RunUntil(maxTime) }
 
 // RunUntil executes events with timestamps <= limit, advancing the clock
 // to each event's time. Events left in the queue remain schedulable by a
 // later call. It returns the current virtual time when it stops.
+//
+// The loop drains the whole same-timestamp batch from the zero-delay
+// lane before consulting the heap for a clock advance; heap events that
+// share the current timestamp (necessarily scheduled earlier, so with
+// smaller sequence numbers) are interleaved ahead of the lane by a
+// single peek, never a re-sort.
 func (e *Engine) RunUntil(limit Time) Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		if e.events.peek().at > limit {
-			e.now = limit
+	e.limit = limit
+	for !e.stopped {
+		if e.lane.n > 0 {
+			// Lane entries are stamped with the current time; if even
+			// that is past the limit they must stay queued.
+			if e.now > limit {
+				return e.now
+			}
+			if len(e.events) > 0 && e.events[0].at == e.now && e.events[0].seq < e.lane.peekSeq() {
+				ev := e.events.popMin()
+				e.nEvents++
+				ev.dispatch(e)
+				continue
+			}
+			le := e.lane.pop()
+			e.nEvents++
+			le.dispatch(e)
+			continue
+		}
+		if len(e.events) == 0 {
+			break
+		}
+		if e.events[0].at > limit {
+			if limit > e.now {
+				e.now = limit
+			}
 			return e.now
 		}
 		ev := e.events.popMin()
 		e.now = ev.at
 		e.nEvents++
-		ev.fn()
+		ev.dispatch(e)
 	}
 	return e.now
 }
@@ -221,14 +321,30 @@ func (e *Engine) RunUntil(limit Time) Time {
 // Step executes the single earliest pending event, advancing the clock
 // to its timestamp. It reports whether an event ran. Useful for
 // lock-step debugging and for benchmarking the event loop itself.
+// A proc resumed by the event may fast-forward through sleeps that
+// nothing else could interleave with (see Proc.Sleep), so one Step can
+// advance the clock past the event's own timestamp.
 func (e *Engine) Step() bool {
+	e.limit = maxTime
+	if e.lane.n > 0 {
+		if len(e.events) > 0 && e.events[0].at == e.now && e.events[0].seq < e.lane.peekSeq() {
+			ev := e.events.popMin()
+			e.nEvents++
+			ev.dispatch(e)
+			return true
+		}
+		le := e.lane.pop()
+		e.nEvents++
+		le.dispatch(e)
+		return true
+	}
 	if len(e.events) == 0 {
 		return false
 	}
 	ev := e.events.popMin()
 	e.now = ev.at
 	e.nEvents++
-	ev.fn()
+	ev.dispatch(e)
 	return true
 }
 
@@ -237,4 +353,4 @@ func (e *Engine) Step() bool {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Idle reports whether no events are pending.
-func (e *Engine) Idle() bool { return len(e.events) == 0 }
+func (e *Engine) Idle() bool { return len(e.events) == 0 && e.lane.n == 0 }

@@ -220,11 +220,32 @@ func TestEventHeapPopClearsSlot(t *testing.T) {
 	// The vacated tail slot must not retain the popped event's closure.
 	var h eventHeap
 	fn := func() {}
-	h.pushEv(event{at: 1, seq: 1, fn: fn})
-	h.pushEv(event{at: 2, seq: 2, fn: fn})
+	h.pushEv(event{at: 1, seq: 1, ptr: fnToPtr(fn)})
+	h.pushEv(event{at: 2, seq: 2, ptr: fnToPtr(fn)})
 	h.popMin()
 	tail := h[:cap(h)][len(h)]
-	if tail.fn != nil || tail.at != 0 || tail.seq != 0 {
+	if tail.ptr != nil || tail.at != 0 || tail.seq != 0 {
 		t.Fatalf("vacated slot still live: %+v", tail)
+	}
+}
+
+func TestEventPayloadRoundTrip(t *testing.T) {
+	// The packed single-word payload must survive the round trip for
+	// both event forms: a closure (with captured state) and a signal.
+	n := 0
+	fn := func() { n++ }
+	ptrToFn(fnToPtr(fn))()
+	if n != 1 {
+		t.Fatal("packed closure did not run")
+	}
+	e := NewEngine()
+	s := NewSignal()
+	e.FireAt(5, s)
+	e.Run()
+	if !s.Fired() {
+		t.Fatal("packed signal event did not fire")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("fire event ran at %v, want 5", e.Now())
 	}
 }

@@ -1,0 +1,78 @@
+package sim
+
+import "unsafe"
+
+// laneEvent is one zero-delay event: its action runs at the timestamp
+// it was scheduled at (the lane never outlives a clock instant), and
+// seq interleaves it with heap events that share that timestamp. The
+// payload packing matches event.
+type laneEvent struct {
+	seq   uint64
+	ptr   unsafe.Pointer // *funcval (callback) or *Signal (isSig)
+	isSig bool
+}
+
+// dispatch executes the lane event's action.
+func (le laneEvent) dispatch(e *Engine) {
+	if le.isSig {
+		(*Signal)(le.ptr).Fire(e)
+		return
+	}
+	ptrToFn(le.ptr)()
+}
+
+// eventLane is a growable ring buffer holding zero-delay events in
+// insertion order. The bulk of a simulation's events are zero-delay —
+// signal wakeups, queue wakeups, yields, resume thunks — and for those
+// (time, seq) order degenerates to plain FIFO, so a ring buffer
+// delivers them with one store and one load instead of a heap
+// sift-up/sift-down pair.
+//
+// Invariant: every queued entry was scheduled at the engine's current
+// time, so the lane must drain completely before the clock advances.
+// The engine's run loop maintains this by always preferring the lane
+// unless a heap event at the same timestamp has a smaller sequence
+// number.
+type eventLane struct {
+	buf  []laneEvent // len(buf) is a power of two, or nil before first use
+	head int         // index of the oldest entry
+	n    int         // live entries
+}
+
+// push appends ev at the tail, growing the ring if full.
+func (l *eventLane) push(ev laneEvent) {
+	if l.n == len(l.buf) {
+		l.grow()
+	}
+	l.buf[(l.head+l.n)&(len(l.buf)-1)] = ev
+	l.n++
+}
+
+// grow doubles the ring, re-linearizing live entries at the front.
+func (l *eventLane) grow() {
+	newCap := 2 * len(l.buf)
+	if newCap == 0 {
+		newCap = 64
+	}
+	buf := make([]laneEvent, newCap)
+	for i := 0; i < l.n; i++ {
+		buf[i] = l.buf[(l.head+i)&(len(l.buf)-1)]
+	}
+	l.buf = buf
+	l.head = 0
+}
+
+// peekSeq returns the sequence number of the oldest entry. The lane
+// must be non-empty.
+func (l *eventLane) peekSeq() uint64 { return l.buf[l.head].seq }
+
+// pop removes and returns the oldest entry. The vacated slot is zeroed
+// so the ring does not retain the entry's payload once it has run. The
+// lane must be non-empty.
+func (l *eventLane) pop() laneEvent {
+	ev := l.buf[l.head]
+	l.buf[l.head] = laneEvent{}
+	l.head = (l.head + 1) & (len(l.buf) - 1)
+	l.n--
+	return ev
+}

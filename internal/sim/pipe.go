@@ -59,7 +59,7 @@ func (pp *Pipe) TransferAfter(ready *Signal, bytes int64) *Signal {
 		dur := pp.overhead + DurationOf(bytes, pp.bytesPerSec)
 		pp.freeAt = start + dur
 		pp.busyAccum += dur
-		pp.eng.At(pp.freeAt, func() { done.Fire(pp.eng) })
+		pp.eng.FireAt(pp.freeAt, done)
 		if tr := pp.eng.tracer; tr != nil {
 			tr.Add(Span{Resource: pp.name, Label: "xfer", Start: start, End: pp.freeAt, Bytes: bytes})
 		}

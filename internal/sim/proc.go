@@ -14,6 +14,11 @@ type Proc struct {
 	wake   chan struct{}
 	done   *Signal
 	exited bool
+	// resumeFn is the pre-bound resume thunk, created once at Spawn.
+	// Every wakeup of this proc — Sleep expiry, Signal.Fire, Queue.Push
+	// — schedules this same func value, so the steady-state resume path
+	// allocates nothing.
+	resumeFn func()
 }
 
 // Spawn creates a proc running fn and schedules its first execution at
@@ -21,6 +26,7 @@ type Proc struct {
 // the engine has handed control to it.
 func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{eng: e, name: name, wake: make(chan struct{}), done: NewSignal()}
+	p.resumeFn = func() { e.resume(p) }
 	go func() {
 		<-p.wake
 		fn(p)
@@ -28,7 +34,7 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		p.done.Fire(e)
 		e.handoff <- struct{}{}
 	}()
-	e.Schedule(0, func() { e.resume(p) })
+	e.At(e.now, p.resumeFn)
 	return p
 }
 
@@ -61,12 +67,29 @@ func (p *Proc) park() {
 }
 
 // Sleep suspends the proc for duration d of virtual time.
+//
+// If no other event can possibly run before the wake time — the
+// zero-delay lane is empty, the heap's earliest event is later than the
+// wake time, and the wake time is within the active run window — the
+// proc fast-forwards the clock and keeps running. Parking would hand
+// control to the engine only for it to resume this proc immediately, so
+// skipping the resume event and both goroutine handoffs is observably
+// identical (the engine is single-threaded: no new events can appear
+// while this proc holds control).
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
 	e := p.eng
-	e.Schedule(d, func() { e.resume(p) })
+	target := e.now + d
+	// target < e.now means the addition overflowed; fall through so At
+	// reports it loudly instead of moving the clock backward.
+	if target >= e.now && e.lane.n == 0 && !e.stopped && target <= e.limit &&
+		(len(e.events) == 0 || e.events[0].at > target) {
+		e.now = target
+		return
+	}
+	e.At(target, p.resumeFn)
 	p.park()
 }
 

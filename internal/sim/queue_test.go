@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestQueueWaitersFIFO: multiple procs block on Pop in a known order;
+// interleaved pushes must hand items out in that wait order, one item
+// per waiter, with no lost wakeups.
+func TestQueueWaitersFIFO(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int]()
+	got := make(map[string]int)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			// Stagger arrival so the wait order is w0, w1, w2.
+			p.Sleep(Time(i + 1))
+			got[p.Name()] = q.Pop(p)
+		})
+	}
+	// Pushes land after all three are parked, interleaved over time.
+	e.Schedule(10, func() { q.Push(e, 100) })
+	e.Schedule(20, func() { q.Push(e, 200) })
+	e.Schedule(30, func() { q.Push(e, 300) })
+	e.Run()
+	want := map[string]int{"w0": 100, "w1": 200, "w2": 300}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("pop order not FIFO by wait order: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueueBurstPushWakesEachWaiterOnce: several pushes within one
+// event must wake distinct waiters — one wakeup per push, nobody woken
+// twice, nobody left parked.
+func TestQueueBurstPushWakesEachWaiterOnce(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int]()
+	var got []int
+	const waiters = 4
+	for i := 0; i < waiters; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			got = append(got, q.Pop(p))
+		})
+	}
+	e.Schedule(5, func() {
+		for v := 1; v <= waiters; v++ {
+			q.Push(e, v*11)
+		}
+	})
+	e.Run()
+	if len(got) != waiters {
+		t.Fatalf("%d pops completed, want %d (lost wakeup): %v", len(got), waiters, got)
+	}
+	for i, v := range got {
+		if v != (i+1)*11 {
+			t.Fatalf("items out of FIFO order: %v", got)
+		}
+	}
+}
+
+// TestQueueStealDoesNotLoseWakeup: a TryPop from event context steals
+// the item between Push waking a parked popper and the popper running.
+// The popper must re-enter the wait list and still receive the next
+// item — the wakeup is retried, never lost.
+func TestQueueStealDoesNotLoseWakeup(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int]()
+	popped := -1
+	e.Spawn("popper", func(p *Proc) {
+		popped = q.Pop(p)
+	})
+	var stolen int
+	var stoleOK bool
+	// Push wakes the popper with a scheduled resume; stealing
+	// synchronously in the same event consumes the item before that
+	// resume runs — the shape of an event callback racing a parked
+	// proc for the queue head.
+	e.Schedule(5, func() {
+		q.Push(e, 42)
+		v, ok := q.TryPop()
+		stolen, stoleOK = v, ok
+	})
+	e.Schedule(10, func() { q.Push(e, 43) })
+	e.Run()
+	if !stoleOK || stolen != 42 {
+		t.Fatalf("steal failed: ok=%v v=%d", stoleOK, stolen)
+	}
+	if popped != 43 {
+		t.Fatalf("woken popper got %d, want the follow-up item 43 (wakeup lost?)", popped)
+	}
+}
+
+// TestQueueRepeatedCycleKeepsCapacity: a steady push/pop cycle must not
+// grow the queue's backing storage — the ring-style head index reuses
+// it — and must preserve FIFO through many wrap cycles.
+func TestQueueRepeatedCycleKeepsCapacity(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int]()
+	const rounds = 10000
+	sum := 0
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			sum += q.Pop(p)
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			q.Push(p.Engine(), i)
+			p.Yield()
+		}
+	})
+	e.Run()
+	if want := rounds * (rounds - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	if c := cap(q.items); c > 64 {
+		t.Fatalf("queue backing array grew to %d for a 1-deep cycle", c)
+	}
+}
+
+// TestQueueManyPoppersManyPushers drives 4 poppers against bursty
+// pushes from two producer procs and checks conservation: every pushed
+// item is popped exactly once.
+func TestQueueManyPoppersManyPushers(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int]()
+	const perProducer = 50
+	seen := make(map[int]int)
+	total := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("pop%d", i), func(p *Proc) {
+			for total < 2*perProducer {
+				v := q.Pop(p)
+				seen[v]++
+				total++
+			}
+		})
+	}
+	for pr := 0; pr < 2; pr++ {
+		pr := pr
+		e.Spawn(fmt.Sprintf("push%d", pr), func(p *Proc) {
+			for i := 0; i < perProducer; i++ {
+				q.Push(p.Engine(), pr*perProducer+i)
+				if i%3 == 0 {
+					p.Sleep(Time(1 + pr))
+				}
+			}
+		})
+	}
+	e.RunUntil(1_000_000)
+	if total != 2*perProducer {
+		t.Fatalf("popped %d items, want %d", total, 2*perProducer)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d popped %d times", v, n)
+		}
+	}
+}

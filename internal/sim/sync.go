@@ -1,5 +1,7 @@
 package sim
 
+import "unsafe"
+
 // Signal is a one-shot broadcast: it starts unfired, fires exactly once,
 // and wakes every waiting proc and runs every registered callback when it
 // does. Waiting on an already-fired signal completes immediately.
@@ -7,18 +9,31 @@ package sim
 // Signals are the completion primitive used throughout the simulator:
 // GPU events, network transfer completions, and request objects all
 // expose Signals.
+// Signal stores its first waiter and first callback inline: the common
+// case throughout the simulator is exactly one of each (a request with
+// one waiting rank, a transfer with one completion callback), and the
+// inline slots make that case allocation-free. Registration order is
+// preserved — the inline slot is always the earliest registration.
 type Signal struct {
 	fired     bool
-	waiters   []*Proc
-	callbacks []func()
+	w0        *Proc
+	waiters   []*Proc // second and later waiters
+	cb0       func()
+	callbacks []func() // second and later callbacks
 }
 
 // NewSignal returns an unfired signal.
 func NewSignal() *Signal { return &Signal{} }
 
+// firedSignal is the shared already-fired signal. Safe to share across
+// engines and goroutines: every Signal method is a pure read once fired
+// (Fire is a no-op, Wait returns, OnFire and Chain only schedule).
+var firedSignal = &Signal{fired: true}
+
 // FiredSignal returns a signal that has already fired, useful as a
-// no-op dependency.
-func FiredSignal() *Signal { return &Signal{fired: true} }
+// no-op dependency. The same shared instance is returned every time;
+// fired signals are immutable.
+func FiredSignal() *Signal { return firedSignal }
 
 // Fired reports whether the signal has fired.
 func (s *Signal) Fired() bool { return s.fired }
@@ -26,22 +41,31 @@ func (s *Signal) Fired() bool { return s.fired }
 // Fire marks the signal fired, schedules all waiting procs to resume at
 // the current time, and runs callbacks in registration order. Firing an
 // already-fired signal is a no-op.
+//
+// Waiters are resumed through their pre-bound resume thunks, so firing
+// a signal allocates nothing regardless of fan-out.
 func (s *Signal) Fire(e *Engine) {
 	if s.fired {
 		return
 	}
 	s.fired = true
+	if s.w0 != nil {
+		e.At(e.now, s.w0.resumeFn)
+		s.w0 = nil
+	}
 	waiters := s.waiters
 	s.waiters = nil
 	for _, p := range waiters {
-		p := p
-		e.Schedule(0, func() { e.resume(p) })
+		e.At(e.now, p.resumeFn)
+	}
+	if s.cb0 != nil {
+		e.At(e.now, s.cb0)
+		s.cb0 = nil
 	}
 	callbacks := s.callbacks
 	s.callbacks = nil
 	for _, cb := range callbacks {
-		cb := cb
-		e.Schedule(0, cb)
+		e.At(e.now, cb)
 	}
 }
 
@@ -49,13 +73,40 @@ func (s *Signal) Fire(e *Engine) {
 // fires. If the signal already fired, cb is scheduled immediately.
 func (s *Signal) OnFire(e *Engine, cb func()) {
 	if s.fired {
-		e.Schedule(0, cb)
+		e.At(e.now, cb)
+		return
+	}
+	if s.cb0 == nil && len(s.callbacks) == 0 {
+		s.cb0 = cb
 		return
 	}
 	s.callbacks = append(s.callbacks, cb)
 }
 
-func (s *Signal) addWaiter(p *Proc) { s.waiters = append(s.waiters, p) }
+// Chain arranges for dst to fire (as its own scheduled event) when s
+// fires; if s has already fired, dst's firing is scheduled at the
+// current time through the allocation-free fire-signal event form.
+func (s *Signal) Chain(e *Engine, dst *Signal) {
+	if s.fired {
+		e.FireAt(e.now, dst)
+		return
+	}
+	s.OnFire(e, func() { dst.Fire(e) })
+}
+
+// FireAt schedules s to fire at absolute time t. It is the
+// allocation-free form of At(t, func() { s.Fire(e) }), the completion
+// idiom of every transfer model (pipes, NICs, staging): the event
+// carries the signal pointer directly instead of a closure.
+func (e *Engine) FireAt(t Time, s *Signal) { e.push(t, unsafe.Pointer(s), true) }
+
+func (s *Signal) addWaiter(p *Proc) {
+	if s.w0 == nil && len(s.waiters) == 0 {
+		s.w0 = p
+		return
+	}
+	s.waiters = append(s.waiters, p)
+}
 
 // AllOf returns a signal that fires once every input signal has fired.
 // With no inputs it returns an already-fired signal.
@@ -123,8 +174,16 @@ func (c *Counter) Done() *Signal { return c.sig }
 
 // Queue is a FIFO queue with blocking Pop for procs. Push may be called
 // from event or proc context.
+//
+// Items live in a slice with an explicit head index rather than being
+// re-sliced off the front: re-slicing leaks capacity with every pop, so
+// a steady push/pop cycle would reallocate continuously. With the head
+// index the backing array is reused and the steady state allocates
+// nothing. Waiters are woken through their pre-bound resume thunks and
+// removed by copy-down for the same reason.
 type Queue[T any] struct {
 	items   []T
+	head    int // index of the queue front within items
 	waiters []*Proc
 }
 
@@ -132,26 +191,35 @@ type Queue[T any] struct {
 func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
-// Push appends v and wakes one waiting proc, if any.
+// Push appends v and wakes the longest-waiting proc, if any. Wakeups
+// are one-per-push: a push never wakes more than one waiter, and a
+// woken waiter that finds the queue emptied (an event callback stole
+// the item via TryPop) re-enters the wait list at the tail.
 func (q *Queue[T]) Push(e *Engine, v T) {
 	q.items = append(q.items, v)
 	if len(q.waiters) > 0 {
 		p := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		e.Schedule(0, func() { e.resume(p) })
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		e.At(e.now, p.resumeFn)
 	}
 }
 
 // TryPop removes and returns the head item if present.
 func (q *Queue[T]) TryPop() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.items[q.head]
+	q.items[q.head] = zero // release the slot for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return v, true
 }
 

@@ -131,6 +131,10 @@ func Sweep(ids []string, opt Options) (Result, error) {
 		mu   sync.Mutex
 		done int
 	)
+	if opt.Progress != nil {
+		fmt.Fprintf(opt.Progress, "sweep: %d runs across %d figures on %d workers\n",
+			len(jobs), len(plans), opt.workers())
+	}
 	start := time.Now()
 	Each(len(jobs), opt.workers(), func(j int) {
 		fig, si := jobs[j].fig, jobs[j].spec

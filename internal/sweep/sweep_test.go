@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -238,10 +239,16 @@ func TestProgressLinesComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	mu.Lock()
+	out := buf.String()
 	lines := bytes.Count(buf.Bytes(), []byte("\n"))
 	mu.Unlock()
-	if lines != len(res.Figures[0].Runs) {
-		t.Fatalf("progress lines = %d, want %d", lines, len(res.Figures[0].Runs))
+	// One header line announcing the effective worker count, then one
+	// line per completed run.
+	if lines != len(res.Figures[0].Runs)+1 {
+		t.Fatalf("progress lines = %d, want %d", lines, len(res.Figures[0].Runs)+1)
+	}
+	if !strings.Contains(out, "on 4 workers") {
+		t.Fatalf("progress header does not report the worker count:\n%s", out)
 	}
 }
 

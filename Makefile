@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check check sweep-smoke bench-queue bench
+.PHONY: all build test vet fmt-check check sweep-smoke scenario-smoke bench-queue bench
 
 all: check
 
@@ -32,6 +32,15 @@ sweep-smoke:
 	@cmp /tmp/gat-sweep-serial.txt /tmp/gat-sweep-parallel.txt
 	@echo "sweep-smoke: parallel output byte-identical to serial"
 
+# Scenario registry smoke: the registry must list, and a non-Summit,
+# non-Jacobi composition must run end to end.
+scenario-smoke:
+	@$(GO) build -o /tmp/gat-sweep ./cmd/sweep
+	@/tmp/gat-sweep -list | grep -q minimd-frontier
+	@/tmp/gat-sweep -scenario minimd-frontier -maxnodes 2 -iters 4 -j 2 > /dev/null
+	@/tmp/gat-sweep -scenario scaling -app ring -machine perlmutter -maxnodes 2 -iters 4 > /dev/null
+	@echo "scenario-smoke: registry lists; non-Summit scenarios run"
+
 bench-queue:
 	$(GO) test -run xxx -bench BenchmarkEventQueue -benchtime 1000000x .
 
@@ -49,4 +58,4 @@ bench:
 	$(GO) test -run xxx -bench $(BENCH_PATTERN) -benchmem -count=6 . > /tmp/gat-bench-out.txt
 	/tmp/gat-benchjson -label $(BENCH_LABEL) -out BENCH_PR2.json -in /tmp/gat-bench-out.txt
 
-check: build vet fmt-check test sweep-smoke
+check: build vet fmt-check test sweep-smoke scenario-smoke

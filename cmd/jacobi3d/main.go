@@ -24,7 +24,8 @@ import (
 
 func main() {
 	variant := flag.String("variant", "charm-d", "mpi-h | mpi-d | charm-h | charm-d")
-	nodes := flag.Int("nodes", 1, "number of Summit-like nodes (6 GPUs each)")
+	nodes := flag.Int("nodes", 1, "number of nodes")
+	machineName := flag.String("machine", "summit", "machine profile (summit, perlmutter, frontier, ...)")
 	globalStr := flag.String("global", "768x768x768", "global grid size XxYxZ")
 	odf := flag.Int("odf", 1, "overdecomposition factor (charm variants)")
 	fusionStr := flag.String("fusion", "none", "kernel fusion: none | A | B | C (charm-d)")
@@ -46,14 +47,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fusion, err := parseFusion(*fusionStr)
+	fusion, err := jacobi.ParseFusion(*fusionStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	cfg := jacobi.Config{Global: global, Iters: *iters, Warmup: *warmup}
-	m := machine.New(machine.Summit(*nodes))
+	mcfg, err := machine.BuildProfile(*machineName, *nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *trace {
 		m.Eng.SetTracer(sim.NewTracer())
 	}
@@ -82,6 +92,7 @@ func main() {
 	}
 
 	fmt.Printf("variant      %s\n", *variant)
+	fmt.Printf("machine      %s\n", *machineName)
 	fmt.Printf("nodes        %d (%d GPUs)\n", *nodes, m.Procs())
 	fmt.Printf("global grid  %dx%dx%d\n", global[0], global[1], global[2])
 	if strings.HasPrefix(*variant, "charm") {
@@ -173,19 +184,4 @@ func parseGlobal(s string) ([3]int, error) {
 		}
 	}
 	return g, nil
-}
-
-func parseFusion(s string) (jacobi.Fusion, error) {
-	switch strings.ToUpper(s) {
-	case "NONE", "":
-		return jacobi.FusionNone, nil
-	case "A":
-		return jacobi.FusionA, nil
-	case "B":
-		return jacobi.FusionB, nil
-	case "C":
-		return jacobi.FusionC, nil
-	default:
-		return 0, fmt.Errorf("bad -fusion %q, want none|A|B|C", s)
-	}
 }

@@ -112,7 +112,7 @@ func main() {
 
 // pathTime measures one delivery on a fresh 2-node machine.
 func pathTime(bytes int64, f func(m *machine.Machine, ready *sim.Signal) *sim.Signal) sim.Time {
-	m := machine.New(machine.Summit(2))
+	m := machine.MustNew(machine.Summit(2))
 	var at sim.Time
 	f(m, sim.FiredSignal()).OnFire(m.Eng, func() { at = m.Eng.Now() })
 	m.Eng.Run()

@@ -1,17 +1,20 @@
-// Command sweep regenerates the paper's figures on the simulated
-// machine. Each figure id (fig6a..fig9b) maps to one experiment from
-// the per-experiment index in DESIGN.md. Runs execute concurrently on
-// a worker pool (one private simulation engine per run); output is
-// reassembled in deterministic order, so any -j produces the same
-// table and CSV bytes as -j 1.
+// Command sweep runs registered scenarios — app x machine x
+// variant-series x sweep-axis compositions — on the simulated
+// machines. The paper's figures (fig6a..fig9b) and the ablations are
+// themselves registered scenarios, so -fig remains a thin alias. Runs
+// execute concurrently on a worker pool (one private simulation engine
+// per run); output is reassembled in deterministic order, so any -j
+// produces the same table and CSV bytes as -j 1.
 //
 // Usage:
 //
-//	sweep -fig fig7c                # one figure, full node range
-//	sweep -fig all -maxnodes 64     # everything, capped sweep
-//	sweep -fig all -j 4 -v          # 4 workers, progress on stderr
-//	sweep -fig fig7a -csv           # machine-readable output
-//	sweep -fig all -json            # JSON with per-run wall-clock
+//	sweep -list                             # every registered scenario
+//	sweep -fig fig7c                        # one paper figure
+//	sweep -fig all -maxnodes 64             # all figures, capped sweep
+//	sweep -scenario minimd-lb -j 4 -v       # a non-paper scenario
+//	sweep -scenario fig7b -machine frontier # same experiment, other machine
+//	sweep -scenario scaling -app minimd -machine perlmutter
+//	sweep -fig all -json                    # gat-sweep-v2 JSON report
 package main
 
 import (
@@ -20,48 +23,58 @@ import (
 	"os"
 	"runtime"
 
+	"gat/internal/app"
 	"gat/internal/bench"
+	"gat/internal/machine"
 	"gat/internal/sweep"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure id (fig6a, fig6b, fig7a, fig7b, fig7c, fig8a, fig8b, fig9a, fig9b) or 'all' / 'ablations'")
+	fig := flag.String("fig", "", "figure id (fig6a..fig9b) or 'all' / 'ablations' — aliases for registered scenarios")
+	scenario := flag.String("scenario", "", "registered scenario name (see -list)")
+	machineName := flag.String("machine", "", "machine profile override (see -list for profiles)")
+	appName := flag.String("app", "", "application override, for app-generic scenarios like 'scaling'")
+	list := flag.Bool("list", false, "list registered scenarios, apps and machine profiles, then exit")
 	maxNodes := flag.Int("maxnodes", 0, "cap the node sweep (0 = paper's full range)")
 	iters := flag.Int("iters", 0, "timed iterations per run (0 = default 10)")
 	warmup := flag.Int("warmup", 0, "warm-up iterations per run (0 = default 3)")
 	jitter := flag.Float64("jitter", 0, "network latency jitter fraction (0 = exactly deterministic; seeded per run)")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulation runs (default: all CPUs)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	jsonOut := flag.Bool("json", false, "emit a JSON report with per-run wall-clock metadata")
+	jsonOut := flag.Bool("json", false, "emit a JSON report with per-run wall-clock (gat-sweep-v2)")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	flag.Parse()
 
+	if *list {
+		listScenarios(os.Stdout)
+		return
+	}
+	if *jitter < 0 || *jitter >= 1 {
+		fatalf("bad -jitter %g: want a fraction in [0,1)", *jitter)
+	}
+	if *machineName != "" {
+		if _, err := machine.ProfileByName(*machineName); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
 	opt := sweep.Options{
-		Workers: *jobs,
-		Bench:   bench.Options{MaxNodes: *maxNodes, Iters: *iters, Warmup: *warmup, Jitter: *jitter},
+		Workers:   *jobs,
+		Bench:     bench.Options{MaxNodes: *maxNodes, Iters: *iters, Warmup: *warmup, Jitter: *jitter},
+		Overrides: bench.Overrides{Machine: *machineName, App: *appName},
 	}
 	if *verbose {
 		opt.Progress = os.Stderr
 	}
 
-	var ids []string
-	switch *fig {
-	case "all":
-		for _, g := range bench.Generators() {
-			ids = append(ids, g.ID)
-		}
-	case "ablations":
-		for _, g := range bench.AblationGenerators() {
-			ids = append(ids, g.ID)
-		}
-	default:
-		ids = []string{*fig}
+	ids, err := resolveIDs(*fig, *scenario)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	res, err := sweep.Sweep(ids, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "sweep: %d figures in %v with %d workers\n",
@@ -80,4 +93,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// resolveIDs maps the -fig alias and -scenario flag to scenario names.
+// With neither set, -fig defaults to every paper figure.
+func resolveIDs(fig, scenario string) ([]string, error) {
+	if scenario != "" {
+		if fig != "" {
+			return nil, fmt.Errorf("use either -fig or -scenario, not both")
+		}
+		// Validate here so a typo fails before any run starts.
+		if _, err := bench.ScenarioByName(scenario); err != nil {
+			return nil, err
+		}
+		return []string{scenario}, nil
+	}
+	if fig == "" {
+		fig = "all"
+	}
+	switch fig {
+	case "all":
+		return scenarioNames(bench.KindFigure), nil
+	case "ablations":
+		return scenarioNames(bench.KindAblation), nil
+	default:
+		if _, err := bench.ScenarioByName(fig); err != nil {
+			return nil, err
+		}
+		return []string{fig}, nil
+	}
+}
+
+func scenarioNames(k bench.Kind) []string {
+	var ids []string
+	for _, s := range bench.Scenarios() {
+		if s.Kind == k {
+			ids = append(ids, s.Name)
+		}
+	}
+	return ids
+}
+
+// listScenarios prints the registry: scenarios with their default
+// composition, then the registered apps and machine profiles.
+func listScenarios(w *os.File) {
+	fmt.Fprintf(w, "%-22s %-9s %-10s %-11s %s\n", "SCENARIO", "KIND", "APP", "MACHINE", "TITLE")
+	for _, s := range bench.Scenarios() {
+		appCol := s.App
+		if appCol == "" {
+			appCol = "-"
+		}
+		if s.SeriesFor != nil {
+			appCol += "*"
+		}
+		fmt.Fprintf(w, "%-22s %-9s %-10s %-11s %s\n", s.Name, s.Kind, appCol, s.Machine, s.Title)
+	}
+	fmt.Fprintf(w, "\napps (* = overridable with -app):\n")
+	for _, a := range app.Apps() {
+		fmt.Fprintf(w, "  %-10s variants: %v\n", a.Name(), a.Variants())
+	}
+	fmt.Fprintf(w, "\nmachine profiles (-machine):\n")
+	for _, p := range machine.Profiles() {
+		fmt.Fprintf(w, "  %-11s %s\n", p.Name, p.Description)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	os.Exit(2)
 }

@@ -175,7 +175,7 @@ func BenchmarkProcPingPong(b *testing.B) {
 // count, so setup and warm-up amortize away and ns/op approaches the
 // host cost of simulating one iteration.
 func BenchmarkJacobiStep(b *testing.B) {
-	m := machine.New(machine.Summit(2))
+	m := machine.MustNew(machine.Summit(2))
 	cfg := jacobi.Config{Global: [3]int{96, 96, 96}, Warmup: 1, Iters: b.N}
 	opts := jacobi.MPIOpts{Device: true}
 	b.ReportAllocs()

@@ -23,7 +23,7 @@ func main() {
 	var base jacobi.Result
 	for _, fusion := range []jacobi.Fusion{jacobi.FusionNone, jacobi.FusionA, jacobi.FusionB, jacobi.FusionC} {
 		for _, graphs := range []bool{false, true} {
-			m := machine.New(machine.Summit(nodes))
+			m := machine.MustNew(machine.Summit(nodes))
 			res := jacobi.RunCharm(m, cfg, jacobi.CharmOpts{
 				ODF: odf, GPUAware: true, Fusion: fusion, Graphs: graphs,
 			}.Optimized())

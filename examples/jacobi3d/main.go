@@ -38,7 +38,7 @@ func main() {
 
 	var base jacobi.Result
 	for i, r := range rows {
-		m := machine.New(machine.Summit(nodes))
+		m := machine.MustNew(machine.Summit(nodes))
 		res := r.run(m)
 		if i == 0 {
 			base = res

@@ -1,143 +1,60 @@
-// MiniMD: a molecular-dynamics proxy in the style of the workloads the
-// paper's introduction motivates (NAMD-class simulations on thousands
-// of GPUs). Space is decomposed into patches (chares); each timestep a
-// patch runs a force kernel on the GPU, exchanges boundary atoms with
-// its 6 spatial neighbors over GPU-aware channels, and integrates.
-// Unlike Jacobi's uniform grid, patch densities are non-uniform, so the
-// example also shows periodic load balancing.
+// MiniMD: drive the registered molecular-dynamics proxy app through
+// the public experiment layer — the app registry plus the machine
+// profile registry — instead of hand-wiring engines.
+//
+// miniMD (internal/app) decomposes space into patches (chares); each
+// timestep a patch runs a force kernel on the GPU, exchanges boundary
+// atoms with its spatial neighbors over GPU-aware channels, and
+// integrates. Patch densities are non-uniform (a dense cluster in the
+// middle of the domain), so its charm-lb variant exercises periodic
+// load balancing. The same composition is registered as the
+// "minimd-lb" scenario for cmd/sweep.
 //
 // Run: go run ./examples/minimd
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"gat/internal/charm"
-	"gat/internal/comm"
-	"gat/internal/core"
-	"gat/internal/gpu"
-	"gat/internal/sim"
+	"gat/internal/app"
+	"gat/internal/machine"
 )
 
-const (
-	nodes     = 4
-	odf       = 4
-	timesteps = 12
-	// Force kernels are ~30x the cost of a Jacobi update per byte
-	// (neighbor lists), boundary exchanges are small.
-	atomBytesPerPatch = 2 << 20
-	boundaryBytes     = 96 << 10
-	forceCostFactor   = 30
-	rebalanceEvery    = 4
-)
-
-type patch struct {
-	stream   *gpu.Stream
-	channels []*comm.Channel
-	peers    []int
-	gate     *charm.Gate
-	step     int
-	density  float64 // relative atom density of this spatial region
-}
-
-func buildSystem(balance bool) (*core.System, *sim.Counter) {
-	sys := core.NewSystem(nodes)
-	n := sys.RT.NumPEs() * odf
-	done := sim.NewCounter(n)
-
-	var arr *charm.Array
-	var drive func(el *charm.Elem, ctx *charm.Ctx)
-	entries := []charm.EntryFn{
-		func(el *charm.Elem, ctx *charm.Ctx, m charm.Msg) { drive(el, ctx) },
-	}
-	// A 1-D chain of patches with a dense cluster in the middle — the
-	// solvated-protein density profile in miniature.
-	arr = sys.NewTaskArray("patch", n, entries, func(ix charm.Index) any {
-		density := 1.0
-		if ix[0] >= n/3 && ix[0] < n/2 {
-			density = 6.0
-		}
-		return &patch{gate: charm.NewGate(), density: density}
-	})
-
-	elems := arr.Elems()
-	for i, el := range elems {
-		p := el.State.(*patch)
-		for _, d := range []int{-1, 1} {
-			j := i + d
-			if j < 0 || j >= n {
-				continue
-			}
-			p.peers = append(p.peers, j)
-		}
-		// Channels are created once from the lower index.
-		if i+1 < n {
-			ch := sys.Channel(el, elems[i+1])
-			p.channels = append(p.channels, ch)
-			elems[i+1].State.(*patch).channels = append([]*comm.Channel{ch},
-				elems[i+1].State.(*patch).channels...)
-		}
-	}
-
-	var rebalances int
-	drive = func(el *charm.Elem, ctx *charm.Ctx) {
-		p := el.State.(*patch)
-		if p.stream == nil || p.stream.Device() != sys.GPUFor(el) {
-			p.stream = sys.GPUFor(el).NewStream("force", gpu.PriorityNormal)
-		}
-		if p.step == timesteps {
-			done.Add(ctx.Engine())
-			return
-		}
-		step := p.step
-		p.step++
-
-		// Force computation scales with local density.
-		forceBytes := int64(float64(atomBytesPerPatch) * p.density * forceCostFactor / odf)
-		force := ctx.LaunchKernelBytes(p.stream, "force", forceBytes)
-
-		// Exchange boundary atoms with spatial neighbors.
-		for k, ch := range p.channels {
-			peerIdx := p.peers[k]
-			_ = peerIdx
-			ctx.Charge(500 * sim.Nanosecond)
-			ch.Send(el.Flat, step, boundaryBytes, force, nil)
-			ctx.Charge(500 * sim.Nanosecond)
-			ch.Recv(el.Flat, step, ctx.CommCallback("boundary", func(ctx *charm.Ctx) {
-				p.gate.Arrive(ctx, step, nil)
-			}))
-		}
-		p.gate.Expect(ctx, step, len(p.channels), func(ctx *charm.Ctx) {
-			// Integrate (cheap kernel), then next step via HAPI.
-			ctx.LaunchKernelBytes(p.stream, "integrate", atomBytesPerPatch/int64(odf))
-			ctx.HAPICallback(p.stream, "next", func(ctx *charm.Ctx) {
-				if balance && p.step%rebalanceEvery == 0 && p.step < timesteps && el.Flat == 0 {
-					rebalances++
-					arr.RebalanceGreedy(atomBytesPerPatch).OnFire(ctx.Engine(), func() {})
-				}
-				drive(el, ctx)
-			})
-		})
-	}
-
-	arr.Broadcast(charm.Msg{Entry: 0})
-	return sys, done
-}
-
-func run(balance bool) sim.Time {
-	sys, done := buildSystem(balance)
-	t := sys.Run()
-	if done.Remaining() != 0 {
-		panic("minimd: patches did not finish")
-	}
-	return t
-}
+const nodes = 4
 
 func main() {
-	fmt.Printf("miniMD: %d patches on %d GPUs, dense cluster = 6x force cost\n", nodes*6*odf, nodes*6)
-	static := run(false)
-	fmt.Printf("  static patches:          %v\n", static)
-	balanced := run(true)
-	fmt.Printf("  with load balancing:     %v\n", balanced)
-	fmt.Printf("  improvement: %.1f%%\n", 100*(float64(static)-float64(balanced))/float64(static))
+	md, err := app.ByName("minimd")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	run := func(variant string) float64 {
+		cfg, err := machine.BuildProfile("summit", nodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exec, err := md.BuildRun(m, variant, md.Defaults(nodes))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return exec().Total.Millis()
+	}
+
+	p := md.Defaults(nodes)
+	fmt.Printf("miniMD: %d patches on %d GPUs, dense cluster = 6x force cost\n",
+		nodes*6*p.ODF, nodes*6)
+	static := run("charm-static")
+	fmt.Printf("  static patches:          %.3f ms\n", static)
+	balanced := run("charm-lb")
+	fmt.Printf("  with load balancing:     %.3f ms\n", balanced)
+	fmt.Printf("  improvement: %.1f%%\n", 100*(static-balanced)/static)
 }

@@ -1,11 +1,14 @@
-// Quickstart: build a ring of GPU-accelerated asynchronous tasks with
-// the core API and watch overdecomposition hide communication.
+// Quickstart: run a registered scenario through the experiment layer
+// and watch overdecomposition hide communication.
 //
-// Each task repeatedly runs a GPU kernel and then sends a device buffer
-// to its ring neighbor over a GPU-aware channel. With one task per GPU
-// (ODF-1) the communication is exposed; with four tasks per GPU (ODF-4)
-// the scheduler interleaves them so one task's transfer overlaps
-// another's kernel — the paper's core mechanism, in ~100 lines.
+// The "ring-odf" scenario composes the `ring` app (a ring of
+// GPU-accelerated asynchronous tasks, each repeatedly running a kernel
+// and passing a device buffer to a partner) with the Summit machine
+// profile and an ODF sweep axis. With one task per GPU (ODF-1) the
+// communication is exposed; with more tasks per GPU the scheduler
+// interleaves them so one task's transfer overlaps another's kernel —
+// the paper's core mechanism, through the same scenario API cmd/sweep
+// uses. `sweep -list` shows every registered scenario.
 //
 // Run: go run ./examples/quickstart
 package main
@@ -14,95 +17,35 @@ import (
 	"fmt"
 	"os"
 
-	"gat/internal/charm"
-	"gat/internal/comm"
-	"gat/internal/core"
-	"gat/internal/gpu"
-	"gat/internal/sim"
+	"gat/internal/bench"
 )
-
-const (
-	nodes = 2
-	steps = 20
-)
-
-// task is one ring element's state.
-type task struct {
-	stream *gpu.Stream
-	next   *comm.Channel // channel to the partner we send to
-	prev   *comm.Channel // channel we receive from
-	step   int
-	gate   *charm.Gate
-}
-
-func run(odf int) sim.Time {
-	sys := core.NewSystem(nodes)
-	n := sys.RT.NumPEs() * odf
-	done := sim.NewCounter(n)
-
-	var arr *charm.Array
-	var drive func(el *charm.Elem, ctx *charm.Ctx)
-	entries := []charm.EntryFn{
-		func(el *charm.Elem, ctx *charm.Ctx, m charm.Msg) { drive(el, ctx) },
-	}
-	arr = sys.NewTaskArray("ring", n, entries, func(ix charm.Index) any {
-		return &task{gate: charm.NewGate()}
-	})
-	// Wire a cross-node exchange: task i talks to task i + n/2, which
-	// the block mapping places on the other node.
-	elems := arr.Elems()
-	for i, el := range elems {
-		nxt := elems[(i+n/2)%n]
-		ch := sys.Channel(el, nxt)
-		el.State.(*task).next = ch
-		nxt.State.(*task).prev = ch
-		el.State.(*task).stream = sys.GPUFor(el).NewStream("work", gpu.PriorityNormal)
-	}
-
-	// Finer tasks do proportionally less compute and exchange
-	// proportionally smaller buffers, like stencil halos.
-	kernelBytes := int64(256 << 20 / odf) // fixed total work per GPU
-	msgBytes := int64(1 << 20 / odf)      // fixed total traffic per GPU
-
-	drive = func(el *charm.Elem, ctx *charm.Ctx) {
-		st := el.State.(*task)
-		if st.step == steps {
-			done.Add(ctx.Engine())
-			return
-		}
-		step := st.step
-		st.step++
-		// Compute, then pass a device buffer around the ring; the next
-		// step starts when our own kernel is done AND the neighbor's
-		// buffer has arrived.
-		k := ctx.LaunchKernelBytes(st.stream, "work", kernelBytes)
-		st.next.Send(el.Flat, step, msgBytes, k, nil)
-		st.prev.Recv(el.Flat, step, ctx.CommCallback("ringRecv", func(ctx *charm.Ctx) {
-			st.gate.Arrive(ctx, step, nil)
-		}))
-		st.gate.Expect(ctx, step, 1, func(ctx *charm.Ctx) {
-			ctx.HAPICallback(st.stream, "next", func(ctx *charm.Ctx) { drive(el, ctx) })
-		})
-	}
-
-	arr.Broadcast(charm.Msg{Entry: 0})
-	total := sys.Run()
-	if done.Remaining() != 0 {
-		panic("quickstart: tasks did not finish")
-	}
-	return total
-}
 
 func main() {
-	fmt.Println("ring of GPU tasks, 2 nodes x 6 GPUs, 20 steps, halo-like messages")
-	base := run(1)
-	fmt.Printf("  ODF-1 (one task per GPU):   %v\n", base)
-	over := run(4)
-	fmt.Printf("  ODF-4 (four tasks per GPU): %v\n", over)
-	improvement := 100 * (float64(base) - float64(over)) / float64(base)
-	fmt.Printf("  overdecomposition hides communication: %.1f%% faster\n", improvement)
+	fmt.Println("scenario ring-odf: ring of GPU tasks, 2 nodes, halo-like messages")
+	fig, err := bench.GenerateAny("ring-odf", bench.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fig.WriteTable(os.Stdout)
+
+	at := func(odf int) float64 {
+		for _, p := range fig.Series[0].Points {
+			if p.Nodes == odf {
+				return p.Value
+			}
+		}
+		return 0
+	}
+	base, over := at(1), at(4)
+	if base == 0 || over == 0 {
+		fmt.Fprintln(os.Stderr, "quickstart: scenario missing ODF-1/ODF-4 points")
+		os.Exit(1)
+	}
+	improvement := 100 * (base - over) / base
+	fmt.Printf("\noverdecomposition hides communication: ODF-4 is %.1f%% faster than ODF-1\n", improvement)
 	if over >= base {
-		fmt.Println("  (unexpected: no overlap benefit)")
+		fmt.Println("(unexpected: no overlap benefit)")
 		os.Exit(1)
 	}
 }

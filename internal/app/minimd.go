@@ -1,0 +1,169 @@
+package app
+
+import (
+	"fmt"
+
+	"gat/internal/charm"
+	"gat/internal/comm"
+	"gat/internal/core"
+	"gat/internal/gpu"
+	"gat/internal/machine"
+	"gat/internal/sim"
+)
+
+// miniMD is a molecular-dynamics proxy in the style of the workloads
+// the paper's introduction motivates (NAMD-class simulations on
+// thousands of GPUs). Space is decomposed into patches (chares); each
+// timestep a patch runs a force kernel on the GPU, exchanges boundary
+// atoms with its spatial neighbors over GPU-aware channels, and
+// integrates. Unlike Jacobi's uniform grid the patch densities are
+// non-uniform — a dense solvated-protein cluster in the middle of the
+// domain — so the charm-lb variant also exercises periodic load
+// balancing.
+//
+// Consumed Params: ODF (patches per PE, default 4) and Iters
+// (timesteps, default 12). Global and Warmup are ignored: the problem
+// weak-scales with the machine by construction and the cost model has
+// no warm-up transient.
+type miniMD struct{}
+
+func init() { Register(miniMD{}) }
+
+// miniMD cost-model constants: force kernels are ~30x the cost of a
+// Jacobi update per byte (neighbor lists), boundary exchanges small.
+const (
+	mdAtomBytesPerPatch = 2 << 20
+	mdBoundaryBytes     = 96 << 10
+	mdForceCostFactor   = 30
+	mdRebalanceEvery    = 4
+	mdDefaultSteps      = 12
+	mdDefaultODF        = 4
+)
+
+func (miniMD) Name() string { return "minimd" }
+
+func (miniMD) Variants() []string { return []string{"charm-static", "charm-lb"} }
+
+func (miniMD) Defaults(int) Params { return Params{ODF: mdDefaultODF, Iters: mdDefaultSteps} }
+
+func (a miniMD) BuildRun(m *machine.Machine, variant string, p Params) (func() Metrics, error) {
+	var balance bool
+	switch variant {
+	case "charm-static":
+	case "charm-lb":
+		balance = true
+	default:
+		return nil, badVariant(a, variant)
+	}
+	odf := p.ODF
+	if odf <= 0 {
+		odf = mdDefaultODF
+	}
+	steps := p.Iters
+	if steps <= 0 {
+		steps = mdDefaultSteps
+	}
+	return func() Metrics { return runMiniMD(m, odf, steps, balance) }, nil
+}
+
+// mdPatch is one spatial patch's state.
+type mdPatch struct {
+	stream   *gpu.Stream
+	channels []*comm.Channel
+	gate     *charm.Gate
+	step     int
+	density  float64 // relative atom density of this spatial region
+}
+
+func runMiniMD(m *machine.Machine, odf, steps int, balance bool) Metrics {
+	sys := core.NewSystemOn(m)
+	n := sys.RT.NumPEs() * odf
+	done := sim.NewCounter(n)
+
+	var arr *charm.Array
+	var drive func(el *charm.Elem, ctx *charm.Ctx)
+	entries := []charm.EntryFn{
+		func(el *charm.Elem, ctx *charm.Ctx, msg charm.Msg) { drive(el, ctx) },
+	}
+	// A 1-D chain of patches with a dense cluster in the middle — the
+	// solvated-protein density profile in miniature.
+	arr = sys.NewTaskArray("patch", n, entries, func(ix charm.Index) any {
+		density := 1.0
+		if ix[0] >= n/3 && ix[0] < n/2 {
+			density = 6.0
+		}
+		return &mdPatch{gate: charm.NewGate(), density: density}
+	})
+
+	elems := arr.Elems()
+	for i, el := range elems {
+		// Channels are created once from the lower index.
+		if i+1 < n {
+			ch := sys.Channel(el, elems[i+1])
+			el.State.(*mdPatch).channels = append(el.State.(*mdPatch).channels, ch)
+			nxt := elems[i+1].State.(*mdPatch)
+			nxt.channels = append([]*comm.Channel{ch}, nxt.channels...)
+		}
+	}
+
+	drive = func(el *charm.Elem, ctx *charm.Ctx) {
+		p := el.State.(*mdPatch)
+		if p.stream == nil || p.stream.Device() != sys.GPUFor(el) {
+			p.stream = sys.GPUFor(el).NewStream("force", gpu.PriorityNormal)
+		}
+		if p.step == steps {
+			done.Add(ctx.Engine())
+			return
+		}
+		step := p.step
+		p.step++
+
+		// Force computation scales with local density.
+		forceBytes := int64(float64(mdAtomBytesPerPatch) * p.density * mdForceCostFactor / float64(odf))
+		force := ctx.LaunchKernelBytes(p.stream, "force", forceBytes)
+
+		// Exchange boundary atoms with spatial neighbors.
+		for _, ch := range p.channels {
+			ctx.Charge(500 * sim.Nanosecond)
+			ch.Send(el.Flat, step, mdBoundaryBytes, force, nil)
+			ctx.Charge(500 * sim.Nanosecond)
+			ch.Recv(el.Flat, step, ctx.CommCallback("boundary", func(ctx *charm.Ctx) {
+				p.gate.Arrive(ctx, step, nil)
+			}))
+		}
+		p.gate.Expect(ctx, step, len(p.channels), func(ctx *charm.Ctx) {
+			// Integrate (cheap kernel), then next step via HAPI.
+			ctx.LaunchKernelBytes(p.stream, "integrate", mdAtomBytesPerPatch/int64(odf))
+			ctx.HAPICallback(p.stream, "next", func(ctx *charm.Ctx) {
+				if balance && p.step%mdRebalanceEvery == 0 && p.step < steps && el.Flat == 0 {
+					arr.RebalanceGreedy(mdAtomBytesPerPatch).OnFire(ctx.Engine(), func() {})
+				}
+				drive(el, ctx)
+			})
+		})
+	}
+
+	arr.Broadcast(charm.Msg{Entry: 0})
+	total := sys.Run()
+	if done.Remaining() != 0 {
+		panic(fmt.Sprintf("minimd: %d patches did not finish", done.Remaining()))
+	}
+	return systemMetrics(m, total, steps)
+}
+
+// systemMetrics collects the common machine-wide counters for apps
+// whose timestep loop runs from virtual time zero.
+func systemMetrics(m *machine.Machine, total sim.Time, steps int) Metrics {
+	var kernels uint64
+	for _, g := range m.GPUs {
+		kernels += g.KernelsLaunched()
+	}
+	return Metrics{
+		TimePerIter: total / sim.Time(steps),
+		Total:       total,
+		Events:      m.Eng.EventsExecuted(),
+		Kernels:     kernels,
+		NetBytes:    m.Net.BytesMoved(),
+		NetMsgs:     m.Net.Messages(),
+	}
+}

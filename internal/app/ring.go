@@ -1,0 +1,118 @@
+package app
+
+import (
+	"fmt"
+
+	"gat/internal/charm"
+	"gat/internal/comm"
+	"gat/internal/core"
+	"gat/internal/gpu"
+	"gat/internal/machine"
+	"gat/internal/sim"
+)
+
+// ring is the quickstart workload as a registered application: a ring
+// of GPU-accelerated asynchronous tasks, each repeatedly running a
+// kernel and passing a device buffer to a partner placed on another
+// PE. It is the smallest workload that shows overdecomposition hiding
+// communication, which is what its ODF-sweep scenarios measure.
+//
+// Consumed Params: ODF (tasks per GPU, default 1) and Iters (ring
+// steps, default 20). Finer tasks do proportionally less compute and
+// exchange proportionally smaller buffers, so total work per GPU is
+// ODF-independent. Global and Warmup are ignored.
+type ring struct{}
+
+func init() { Register(ring{}) }
+
+const (
+	ringDefaultSteps = 20
+	ringKernelBytes  = 256 << 20 // total kernel traffic per GPU per step
+	ringMsgBytes     = 1 << 20   // total message bytes per GPU per step
+)
+
+func (ring) Name() string { return "ring" }
+
+func (ring) Variants() []string { return []string{"ring"} }
+
+func (ring) Defaults(int) Params { return Params{ODF: 1, Iters: ringDefaultSteps} }
+
+func (a ring) BuildRun(m *machine.Machine, variant string, p Params) (func() Metrics, error) {
+	if variant != "ring" {
+		return nil, badVariant(a, variant)
+	}
+	odf := p.ODF
+	if odf <= 0 {
+		odf = 1
+	}
+	steps := p.Iters
+	if steps <= 0 {
+		steps = ringDefaultSteps
+	}
+	return func() Metrics { return runRing(m, odf, steps) }, nil
+}
+
+// ringTask is one ring element's state.
+type ringTask struct {
+	stream *gpu.Stream
+	next   *comm.Channel // channel to the partner we send to
+	prev   *comm.Channel // channel we receive from
+	step   int
+	gate   *charm.Gate
+}
+
+func runRing(m *machine.Machine, odf, steps int) Metrics {
+	sys := core.NewSystemOn(m)
+	n := sys.RT.NumPEs() * odf
+	done := sim.NewCounter(n)
+
+	var arr *charm.Array
+	var drive func(el *charm.Elem, ctx *charm.Ctx)
+	entries := []charm.EntryFn{
+		func(el *charm.Elem, ctx *charm.Ctx, msg charm.Msg) { drive(el, ctx) },
+	}
+	arr = sys.NewTaskArray("ring", n, entries, func(ix charm.Index) any {
+		return &ringTask{gate: charm.NewGate()}
+	})
+	// Wire a distant exchange: task i talks to task i + n/2, which the
+	// block mapping places half the machine away.
+	elems := arr.Elems()
+	for i, el := range elems {
+		nxt := elems[(i+n/2)%n]
+		ch := sys.Channel(el, nxt)
+		el.State.(*ringTask).next = ch
+		nxt.State.(*ringTask).prev = ch
+		el.State.(*ringTask).stream = sys.GPUFor(el).NewStream("work", gpu.PriorityNormal)
+	}
+
+	kernelBytes := int64(ringKernelBytes / odf)
+	msgBytes := int64(ringMsgBytes / odf)
+
+	drive = func(el *charm.Elem, ctx *charm.Ctx) {
+		st := el.State.(*ringTask)
+		if st.step == steps {
+			done.Add(ctx.Engine())
+			return
+		}
+		step := st.step
+		st.step++
+		// Compute, then pass a device buffer around the ring; the next
+		// step starts when our own kernel is done AND the neighbor's
+		// buffer has arrived.
+		k := ctx.LaunchKernelBytes(st.stream, "work", kernelBytes)
+		st.next.Send(el.Flat, step, msgBytes, k, nil)
+		st.prev.Recv(el.Flat, step, ctx.CommCallback("ringRecv", func(ctx *charm.Ctx) {
+			st.gate.Arrive(ctx, step, nil)
+		}))
+		st.gate.Expect(ctx, step, 1, func(ctx *charm.Ctx) {
+			ctx.HAPICallback(st.stream, "next", func(ctx *charm.Ctx) { drive(el, ctx) })
+		})
+	}
+
+	arr.Broadcast(charm.Msg{Entry: 0})
+	total := sys.Run()
+	if done.Remaining() != 0 {
+		panic(fmt.Sprintf("ring: %d tasks did not finish", done.Remaining()))
+	}
+	return systemMetrics(m, total, steps)
+}

@@ -3,8 +3,8 @@ package bench
 import (
 	"fmt"
 
+	"gat/internal/app"
 	"gat/internal/comm"
-	"gat/internal/jacobi"
 	"gat/internal/sim"
 )
 
@@ -14,118 +14,153 @@ import (
 // variant (Fig 1b). These have no paper figure; they quantify how much
 // each mechanism contributes in our reproduction.
 
-// AblationGenerators returns the ablation figure generators.
-func AblationGenerators() []Generator {
-	return []Generator{
-		{"abl-priority", "Ablation: high-priority communication streams on/off (Charm-D ODF-4)", ablPriority},
-		{"abl-overlap", "Ablation: manual interior/exterior overlap in MPI (Fig 1b option)", ablOverlap},
-		{"abl-chanapi", "Ablation: Channel API vs GPU Messaging API one-way latency", ablChannelAPI},
-		{"abl-odf", "Ablation: ODF sensitivity of Charm-H and Charm-D (strong scaling point)", ablODF},
+func registerAblationScenarios() {
+	RegisterScenario(ablPriorityScenario())
+	RegisterScenario(ablOverlapScenario())
+	RegisterScenario(ablChannelAPIScenario())
+	RegisterScenario(ablODFScenario())
+}
+
+// ablPriorityScenario compares Charm-D with and without high-priority
+// streams for packing and transfers, strong scaling a 768^3 grid.
+func ablPriorityScenario() *Scenario {
+	cell := func(flat bool) CellFn {
+		return func(c *Cell) Point {
+			r := c.Run("charm-d", app.Params{Global: fusionGlobal, ODF: 4, FlatPriority: flat})
+			c.Progress("t=%v", r.TimePerIter)
+			return Point{Nodes: c.Nodes, Value: us(r.TimePerIter)}
+		}
+	}
+	return &Scenario{
+		Name: "abl-priority", Title: "High-priority communication streams on/off",
+		App: "jacobi3d", Machine: "summit", Kind: KindAblation,
+		XLabel: "nodes", YLabel: "time/iter (us)",
+		Axis: nodeAxis(1, 32),
+		Series: []SeriesDef{
+			{"PriorityStreams", cell(false)},
+			{"FlatPriority", cell(true)},
+		},
 	}
 }
 
-// ablODF sweeps the overdecomposition factor at a fixed strong-scaling
-// point, the sensitivity behind the paper's per-point best-ODF choice
-// (§IV-A). The x column holds the ODF instead of a node count.
-func ablODF(opt Options) Plan {
-	// 3072^3 needs >= 8 nodes to fit in 16 GB per GPU (two grid copies),
-	// which is also why the paper's strong scaling starts at 8 nodes.
+// ablOverlapScenario compares the MPI variant with and without the
+// manual interior/exterior overlap of Fig 1b, weak scaling the large
+// problem.
+func ablOverlapScenario() *Scenario {
+	cell := func(overlap bool) CellFn {
+		return func(c *Cell) Point {
+			r := c.Run("mpi-h", app.Params{Global: weakGlobal(weakBaseLarge, c.Nodes), Overlap: overlap})
+			c.Progress("t=%v", r.TimePerIter)
+			return Point{Nodes: c.Nodes, Value: ms(r.TimePerIter)}
+		}
+	}
+	return &Scenario{
+		Name: "abl-overlap", Title: "Manual overlap in MPI Jacobi3D",
+		App: "jacobi3d", Machine: "summit", Kind: KindAblation,
+		XLabel: "nodes", YLabel: "time/iter (ms)",
+		Axis: nodeAxis(1, 32),
+		Series: []SeriesDef{
+			{"NoOverlap", cell(false)},
+			{"ManualOverlap", cell(true)},
+		},
+	}
+}
+
+// ablChannelAPIScenario measures one-way inter-node delivery latency
+// of a device buffer under the Channel API vs the GPU Messaging API
+// across message sizes. The x column holds log2(bytes) instead of
+// nodes; this is a machine-level scenario that bypasses the app layer.
+func ablChannelAPIScenario() *Scenario {
+	return &Scenario{
+		Name: "abl-chanapi", Title: "Channel API vs GPU Messaging API",
+		App: "", Machine: "summit", Kind: KindAblation,
+		XLabel: "log2B", YLabel: "one-way latency (us)",
+		Axis: func(opt Options) []AxisPoint {
+			var pts []AxisPoint
+			for p := 10; p <= 24; p += 2 {
+				pts = append(pts, AxisPoint{X: p, Nodes: 2})
+			}
+			return pts
+		},
+		Series: []SeriesDef{
+			{"ChannelAPI", func(c *Cell) Point {
+				bytes := int64(1) << c.X
+				mc := c.NewMachine()
+				ch := comm.NewChannel(mc.Net,
+					comm.Endpoint{Proc: 0, Node: 0}, comm.Endpoint{Proc: 1, Node: 1})
+				var at sim.Time
+				ch.Recv(1, 0, func() { at = mc.Eng.Now() })
+				ch.Send(0, 0, bytes, sim.FiredSignal(), nil)
+				mc.Eng.Run()
+				c.Progress("t=%v", at)
+				return Point{Nodes: c.X, Value: us(at)}
+			}},
+			{"MessagingAPI", func(c *Cell) Point {
+				bytes := int64(1) << c.X
+				mm := c.NewMachine()
+				var at sim.Time
+				comm.MessagingSend(mm.Net, comm.DefaultMessagingConfig(),
+					comm.Endpoint{Proc: 0, Node: 0}, comm.Endpoint{Proc: 1, Node: 1},
+					bytes, sim.FiredSignal(), func() { at = mm.Eng.Now() })
+				mm.Eng.Run()
+				c.Progress("t=%v", at)
+				return Point{Nodes: c.X, Value: us(at)}
+			}},
+		},
+	}
+}
+
+// ablODFNodes picks the abl-odf machine size: the largest node count
+// <= MaxNodes up to 32, clamped to 8 because 3072^3 needs >= 8 nodes
+// to fit in 16 GB per GPU (two grid copies) — also why the paper's
+// strong scaling starts at 8 nodes.
+func ablODFNodes(opt Options) int {
 	nodes := scaleNodes(32, opt)
 	if nodes < 8 {
 		nodes = 8
 	}
-	b := newPlan(opt, "abl-odf", fmt.Sprintf("ODF sensitivity, 3072^3 on %d nodes", nodes),
-		"odf", "time/iter (ms)", "Charm-H", "Charm-D")
-	for _, odf := range []int{1, 2, 4, 8, 16} {
-		for si, co := range []jacobi.CharmOpts{
-			jacobi.CharmOpts{ODF: odf}.Optimized(),
-			jacobi.CharmOpts{ODF: odf, GPUAware: true}.Optimized(),
-		} {
-			b.add(si, odf, nodes, func(s RunSpec) Point {
-				r := runCharm(opt, strongGlobal, nodes, s.Seed, co)
-				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
-				return Point{Nodes: odf, Value: ms(r.TimePerIter)}
-			})
-		}
-	}
-	return b.plan()
+	return nodes
 }
 
-// GenerateAny resolves both paper figures and ablations.
+// ablODFScenario sweeps the overdecomposition factor at a fixed
+// strong-scaling point, the sensitivity behind the paper's per-point
+// best-ODF choice (§IV-A). The x column holds the ODF instead of a
+// node count.
+func ablODFScenario() *Scenario {
+	cell := func(variant string) CellFn {
+		return func(c *Cell) Point {
+			r := c.Run(variant, app.Params{Global: strongGlobal, ODF: c.X})
+			c.Progress("t=%v", r.TimePerIter)
+			return Point{Nodes: c.X, Value: ms(r.TimePerIter)}
+		}
+	}
+	return &Scenario{
+		Name: "abl-odf", Title: "ODF sensitivity, 3072^3 strong-scaling point",
+		TitleFor: func(opt Options) string {
+			return fmt.Sprintf("ODF sensitivity, 3072^3 on %d nodes", ablODFNodes(opt))
+		},
+		App: "jacobi3d", Machine: "summit", Kind: KindAblation,
+		XLabel: "odf", YLabel: "time/iter (ms)",
+		Axis: func(opt Options) []AxisPoint {
+			var pts []AxisPoint
+			for _, odf := range []int{1, 2, 4, 8, 16} {
+				pts = append(pts, AxisPoint{X: odf, Nodes: ablODFNodes(opt)})
+			}
+			return pts
+		},
+		Series: []SeriesDef{
+			{"Charm-H", cell("charm-h")},
+			{"Charm-D", cell("charm-d")},
+		},
+	}
+}
+
+// GenerateAny resolves any scenario — paper figure, ablation or extra
+// — and runs it serially.
 func GenerateAny(id string, opt Options) (Figure, error) {
 	p, err := PlanFor(id, opt)
 	if err != nil {
 		return Figure{}, err
 	}
 	return p.Run(), nil
-}
-
-// ablPriority compares Charm-D with and without high-priority streams
-// for packing and transfers, strong scaling a 768^3 grid.
-func ablPriority(opt Options) Plan {
-	b := newPlan(opt, "abl-priority", "High-priority communication streams on/off",
-		"nodes", "time/iter (us)", "PriorityStreams", "FlatPriority")
-	for _, n := range nodeSweep(1, 32, opt) {
-		for si, co := range []jacobi.CharmOpts{
-			jacobi.CharmOpts{ODF: 4, GPUAware: true}.Optimized(),
-			jacobi.CharmOpts{ODF: 4, GPUAware: true, FlatPriority: true}.Optimized(),
-		} {
-			b.add(si, n, n, func(s RunSpec) Point {
-				r := runCharm(opt, fusionGlobal, n, s.Seed, co)
-				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
-				return Point{Nodes: n, Value: us(r.TimePerIter)}
-			})
-		}
-	}
-	return b.plan()
-}
-
-// ablOverlap compares the MPI variant with and without the manual
-// interior/exterior overlap of Fig 1b, weak scaling the large problem.
-func ablOverlap(opt Options) Plan {
-	b := newPlan(opt, "abl-overlap", "Manual overlap in MPI Jacobi3D",
-		"nodes", "time/iter (ms)", "NoOverlap", "ManualOverlap")
-	for _, n := range nodeSweep(1, 32, opt) {
-		for si, mo := range []jacobi.MPIOpts{{}, {Overlap: true}} {
-			b.add(si, n, n, func(s RunSpec) Point {
-				r := runMPI(opt, weakGlobal(weakBaseLarge, n), n, s.Seed, mo)
-				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
-				return Point{Nodes: n, Value: ms(r.TimePerIter)}
-			})
-		}
-	}
-	return b.plan()
-}
-
-// ablChannelAPI measures one-way inter-node delivery latency of a
-// device buffer under the Channel API vs the GPU Messaging API across
-// message sizes. The x column holds log2(bytes) instead of nodes.
-func ablChannelAPI(opt Options) Plan {
-	b := newPlan(opt, "abl-chanapi", "Channel API vs GPU Messaging API",
-		"log2B", "one-way latency (us)", "ChannelAPI", "MessagingAPI")
-	for p := 10; p <= 24; p += 2 {
-		bytes := int64(1) << p
-		b.add(0, p, 2, func(s RunSpec) Point {
-			mc := opt.machineFor(2, s.Seed)
-			ch := comm.NewChannel(mc.Net,
-				comm.Endpoint{Proc: 0, Node: 0}, comm.Endpoint{Proc: 1, Node: 1})
-			var at sim.Time
-			ch.Recv(1, 0, func() { at = mc.Eng.Now() })
-			ch.Send(0, 0, bytes, sim.FiredSignal(), nil)
-			mc.Eng.Run()
-			opt.progress("%s t=%v", s.Name(), at)
-			return Point{Nodes: p, Value: us(at)}
-		})
-		b.add(1, p, 2, func(s RunSpec) Point {
-			mm := opt.machineFor(2, s.Seed)
-			var at sim.Time
-			comm.MessagingSend(mm.Net, comm.DefaultMessagingConfig(),
-				comm.Endpoint{Proc: 0, Node: 0}, comm.Endpoint{Proc: 1, Node: 1},
-				bytes, sim.FiredSignal(), func() { at = mm.Eng.Now() })
-			mm.Eng.Run()
-			opt.progress("%s t=%v", s.Name(), at)
-			return Point{Nodes: p, Value: us(at)}
-		})
-	}
-	return b.plan()
 }

@@ -37,12 +37,14 @@ type Options struct {
 
 // machineFor builds the standard Summit machine for one run, wiring
 // the jitter knobs so equal (options, seed) pairs reproduce equal
-// timelines.
+// timelines. Scenario cells build machines through Cell.NewMachine
+// instead; this remains for the claim checks, which are calibrated to
+// Summit.
 func (o Options) machineFor(nodes int, seed uint64) *machine.Machine {
 	cfg := machine.Summit(nodes)
 	cfg.Net.JitterFrac = o.Jitter
 	cfg.Net.JitterSeed = seed
-	return machine.New(cfg)
+	return machine.MustNew(cfg)
 }
 
 func (o Options) cfg(global [3]int) jacobi.Config {
@@ -83,6 +85,8 @@ type Figure struct {
 
 // Generator builds one figure. Plan decomposes the figure into a flat
 // list of independent RunSpecs; Run is the serial reference execution.
+// Generators are views over the scenario registry, kept for the
+// classic figure-centric API.
 type Generator struct {
 	ID    string
 	Title string
@@ -92,22 +96,38 @@ type Generator struct {
 // Run generates the figure serially, in spec order.
 func (g Generator) Run(opt Options) Figure { return g.Plan(opt).Run() }
 
-// Generators returns all figure generators in publication order.
-func Generators() []Generator {
-	return []Generator{
-		{"fig6a", "Weak scaling 1536^3/node: Charm-H before vs after optimizations", fig6a},
-		{"fig6b", "Strong scaling 3072^3: Charm-H before vs after optimizations", fig6b},
-		{"fig7a", "Weak scaling 1536^3/node: MPI-H, MPI-D, Charm-H, Charm-D", fig7a},
-		{"fig7b", "Weak scaling 192^3/node: MPI-H, MPI-D, Charm-H, Charm-D", fig7b},
-		{"fig7c", "Strong scaling 3072^3: MPI-H, MPI-D, Charm-H, Charm-D", fig7c},
-		{"fig8a", "Kernel fusion, strong scaling 768^3, ODF-1", fig8a},
-		{"fig8b", "Kernel fusion, strong scaling 768^3, ODF-8", fig8b},
-		{"fig9a", "CUDA-graph speedup vs fusion, ODF-1", fig9a},
-		{"fig9b", "CUDA-graph speedup vs fusion, ODF-8", fig9b},
+// generatorsOfKind adapts the registered scenarios of one kind.
+func generatorsOfKind(k Kind) []Generator {
+	var out []Generator
+	for _, s := range Scenarios() {
+		if s.Kind != k {
+			continue
+		}
+		s := s
+		out = append(out, Generator{
+			ID:    s.Name,
+			Title: s.Title,
+			Plan: func(opt Options) Plan {
+				p, err := s.Plan(opt, Overrides{})
+				if err != nil {
+					// Registered scenarios resolve by construction; a
+					// failure here is a registration bug.
+					panic(err)
+				}
+				return p
+			},
+		})
 	}
+	return out
 }
 
-// Generate runs the generator with the given id.
+// Generators returns the paper-figure generators in publication order.
+func Generators() []Generator { return generatorsOfKind(KindFigure) }
+
+// AblationGenerators returns the ablation generators.
+func AblationGenerators() []Generator { return generatorsOfKind(KindAblation) }
+
+// Generate runs the paper-figure scenario with the given id.
 func Generate(id string, opt Options) (Figure, error) {
 	for _, g := range Generators() {
 		if g.ID == id {
@@ -117,14 +137,10 @@ func Generate(id string, opt Options) (Figure, error) {
 	return Figure{}, fmt.Errorf("bench: unknown figure %q", id)
 }
 
-// PlanFor resolves id — paper figure or ablation — to its run plan.
+// PlanFor resolves id — any registered scenario — to its run plan on
+// the scenario's default app and machine.
 func PlanFor(id string, opt Options) (Plan, error) {
-	for _, g := range append(Generators(), AblationGenerators()...) {
-		if g.ID == id {
-			return g.Plan(opt), nil
-		}
-	}
-	return Plan{}, fmt.Errorf("bench: unknown figure %q", id)
+	return PlanScenario(id, opt, Overrides{})
 }
 
 // nodeSweep returns the geometric node-count range [lo..hi] capped by
@@ -144,19 +160,10 @@ func nodeSweep(lo, hi int, opt Options) []int {
 	return out
 }
 
-// weakGlobal grows the base per-node grid with the node count, doubling
-// one dimension per node doubling (z, then y, then x), matching §IV-B.
+// weakGlobal grows the base per-node grid with the node count,
+// matching §IV-B (now shared with the app layer as jacobi.WeakGlobal).
 func weakGlobal(base [3]int, nodes int) [3]int {
-	g := base
-	axis := 2
-	for f := nodes; f > 1; f /= 2 {
-		g[axis] *= 2
-		axis--
-		if axis < 0 {
-			axis = 2
-		}
-	}
-	return g
+	return jacobi.WeakGlobal(base, nodes)
 }
 
 // bestODF runs the Charm variant over the candidate ODFs and returns

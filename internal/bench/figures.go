@@ -3,7 +3,7 @@ package bench
 import (
 	"fmt"
 
-	"gat/internal/jacobi"
+	"gat/internal/app"
 )
 
 var weakBaseLarge = [3]int{1536, 1536, 1536}
@@ -11,144 +11,167 @@ var weakBaseSmall = [3]int{192, 192, 192}
 var strongGlobal = [3]int{3072, 3072, 3072}
 var fusionGlobal = [3]int{768, 768, 768}
 
-// fig6a: weak scaling of Charm-H with ODF-4, before vs after the
-// §III-C synchronization/stream optimizations.
-func fig6a(opt Options) Plan {
-	return fig6(opt, true)
+// registerFigureScenarios registers the paper's figures (§IV), each as
+// a scenario over the jacobi3d app on the calibrated Summit profile.
+func registerFigureScenarios() {
+	RegisterScenario(fig6Scenario(true))
+	RegisterScenario(fig6Scenario(false))
+	RegisterScenario(variantScenario("fig7a", "Weak scaling 1536^3/node: MPI-H, MPI-D, Charm-H, Charm-D",
+		"time/iter (ms)", 1, func(n int) [3]int { return weakGlobal(weakBaseLarge, n) }, false))
+	RegisterScenario(variantScenario("fig7b", "Weak scaling 192^3/node: MPI-H, MPI-D, Charm-H, Charm-D",
+		"time/iter (us)", 1, func(n int) [3]int { return weakGlobal(weakBaseSmall, n) }, true))
+	RegisterScenario(variantScenario("fig7c", "Strong scaling 3072^3: MPI-H, MPI-D, Charm-H, Charm-D",
+		"time/iter (ms)", 8, func(int) [3]int { return strongGlobal }, false))
+	RegisterScenario(fig8Scenario("fig8a", 1))
+	RegisterScenario(fig8Scenario("fig8b", 8))
+	RegisterScenario(fig9Scenario("fig9a", 1))
+	RegisterScenario(fig9Scenario("fig9b", 8))
 }
 
-// fig6b: the strong-scaling companion of fig6a.
-func fig6b(opt Options) Plan {
-	return fig6(opt, false)
-}
-
-func fig6(opt Options, weak bool) Plan {
+// fig6Scenario reproduces Fig 6: Charm-H with ODF-4, before vs after
+// the §III-C synchronization/stream optimizations, weak (fig6a) or
+// strong (fig6b) scaling.
+func fig6Scenario(weak bool) *Scenario {
 	id, title := "fig6a", "Weak scaling 1536^3/node: Charm-H before vs after optimizations"
 	lo := 1
 	if !weak {
 		id, title = "fig6b", "Strong scaling 3072^3: Charm-H before vs after optimizations"
 		lo = 8
 	}
-	b := newPlan(opt, id, title, "nodes", "time/iter (ms)", "Before", "After")
-	for _, n := range nodeSweep(lo, 512, opt) {
-		global := strongGlobal
-		if weak {
-			global = weakGlobal(weakBaseLarge, n)
-		}
-		for si, co := range []jacobi.CharmOpts{
-			{ODF: 4},
-			jacobi.CharmOpts{ODF: 4}.Optimized(),
-		} {
-			b.add(si, n, n, func(s RunSpec) Point {
-				r := runCharm(opt, global, n, s.Seed, co)
-				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
-				return Point{Nodes: n, Value: ms(r.TimePerIter)}
-			})
+	cell := func(unoptimized bool) CellFn {
+		return func(c *Cell) Point {
+			global := strongGlobal
+			if weak {
+				global = weakGlobal(weakBaseLarge, c.Nodes)
+			}
+			r := c.Run("charm-h", app.Params{Global: global, ODF: 4, Unoptimized: unoptimized})
+			c.Progress("t=%v", r.TimePerIter)
+			return Point{Nodes: c.Nodes, Value: ms(r.TimePerIter)}
 		}
 	}
-	return b.plan()
+	return &Scenario{
+		Name: id, Title: title, App: "jacobi3d", Machine: "summit", Kind: KindFigure,
+		XLabel: "nodes", YLabel: "time/iter (ms)",
+		Axis: nodeAxis(lo, 512),
+		Series: []SeriesDef{
+			{"Before", cell(true)},
+			{"After", cell(false)},
+		},
+	}
 }
 
-// variantPlan builds the MPI-H / MPI-D / Charm-H / Charm-D comparison
-// repeated in every panel of Fig 7: four independent runs per node
-// count, where the Charm entries each search their best ODF, as the
-// paper does for every Charm data point (§IV-A).
-func variantPlan(opt Options, id, title, ylabel string, lo int, global func(int) [3]int, inUS bool) Plan {
+// variantScenario builds the MPI-H / MPI-D / Charm-H / Charm-D
+// comparison repeated in every panel of Fig 7: four independent runs
+// per node count, where the Charm entries each search their best ODF,
+// as the paper does for every Charm data point (§IV-A).
+func variantScenario(id, title, ylabel string, lo int, global func(int) [3]int, inUS bool) *Scenario {
 	conv := ms
 	if inUS {
 		conv = us
 	}
-	b := newPlan(opt, id, title, "nodes", ylabel, "MPI-H", "MPI-D", "Charm-H", "Charm-D")
-	for _, n := range nodeSweep(lo, 512, opt) {
-		g := global(n)
-		for si, mo := range []jacobi.MPIOpts{{}, {Device: true}} {
-			b.add(si, n, n, func(s RunSpec) Point {
-				r := runMPI(opt, g, n, s.Seed, mo)
-				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
-				return Point{Nodes: n, Value: conv(r.TimePerIter)}
-			})
-		}
-		for i, co := range []jacobi.CharmOpts{
-			jacobi.CharmOpts{}.Optimized(),
-			jacobi.CharmOpts{GPUAware: true}.Optimized(),
-		} {
-			b.add(2+i, n, n, func(s RunSpec) Point {
-				r, odf := bestODF(opt, opt.cfg(g), n, s.Seed, co, odfCandidates(n))
-				opt.progress("%s t=%v (odf%d)", s.Name(), r.TimePerIter, odf)
-				return Point{Nodes: n, Value: conv(r.TimePerIter), Meta: fmt.Sprintf("ODF-%d", odf)}
-			})
+	mpiCell := func(variant string) CellFn {
+		return func(c *Cell) Point {
+			r := c.Run(variant, app.Params{Global: global(c.Nodes)})
+			c.Progress("t=%v", r.TimePerIter)
+			return Point{Nodes: c.Nodes, Value: conv(r.TimePerIter)}
 		}
 	}
-	return b.plan()
+	charmCell := func(variant string) CellFn {
+		return func(c *Cell) Point {
+			r, odf := bestODFRun(c, variant, global(c.Nodes))
+			c.Progress("t=%v (odf%d)", r.TimePerIter, odf)
+			return Point{Nodes: c.Nodes, Value: conv(r.TimePerIter), Meta: fmt.Sprintf("ODF-%d", odf)}
+		}
+	}
+	return &Scenario{
+		Name: id, Title: title, App: "jacobi3d", Machine: "summit", Kind: KindFigure,
+		XLabel: "nodes", YLabel: ylabel,
+		Axis: nodeAxis(lo, 512),
+		Series: []SeriesDef{
+			{"MPI-H", mpiCell("mpi-h")},
+			{"MPI-D", mpiCell("mpi-d")},
+			{"Charm-H", charmCell("charm-h")},
+			{"Charm-D", charmCell("charm-d")},
+		},
+	}
 }
 
-// fig7a: weak scaling with the large base problem (1536^3 per node).
-func fig7a(opt Options) Plan {
-	return variantPlan(opt, "fig7a", "Weak scaling 1536^3/node: MPI-H, MPI-D, Charm-H, Charm-D",
-		"time/iter (ms)", 1, func(n int) [3]int { return weakGlobal(weakBaseLarge, n) }, false)
-}
-
-// fig7b: weak scaling with the small base problem (192^3 per node),
-// reported in microseconds.
-func fig7b(opt Options) Plan {
-	return variantPlan(opt, "fig7b", "Weak scaling 192^3/node: MPI-H, MPI-D, Charm-H, Charm-D",
-		"time/iter (us)", 1, func(n int) [3]int { return weakGlobal(weakBaseSmall, n) }, true)
-}
-
-// fig7c: strong scaling of the fixed 3072^3 grid.
-func fig7c(opt Options) Plan {
-	return variantPlan(opt, "fig7c", "Strong scaling 3072^3: MPI-H, MPI-D, Charm-H, Charm-D",
-		"time/iter (ms)", 8, func(int) [3]int { return strongGlobal }, false)
+// bestODFRun runs the Charm variant over the candidate ODFs for the
+// cell's scale and returns the fastest result, as the paper does for
+// every Charm data point (§IV-A: "the one with the best performance is
+// chosen"). All candidate runs share the cell's seed: they are
+// alternatives for the same data point, not separate measurements.
+func bestODFRun(c *Cell, variant string, global [3]int) (app.Metrics, int) {
+	var best app.Metrics
+	bestODF := 0
+	for _, odf := range odfCandidates(c.Nodes) {
+		r := c.Run(variant, app.Params{Global: global, ODF: odf})
+		if bestODF == 0 || r.TimePerIter < best.TimePerIter {
+			best, bestODF = r, odf
+		}
+	}
+	return best, bestODF
 }
 
 // fusionStrategies is the strategy axis of Figs 8 and 9.
-var fusionStrategies = []jacobi.Fusion{
-	jacobi.FusionNone, jacobi.FusionA, jacobi.FusionB, jacobi.FusionC,
-}
+var fusionStrategies = []string{"none", "A", "B", "C"}
 
-// fig8 runs the kernel-fusion comparison: Charm-D on a 768^3 grid
-// scaled to 128 nodes, at a fixed ODF.
-func fig8(opt Options, id string, odf int) Plan {
-	b := newPlan(opt, id, fmt.Sprintf("Kernel fusion, 768^3, ODF-%d", odf),
-		"nodes", "time/iter (ms)", "Baseline", "StrategyA", "StrategyB", "StrategyC")
-	for _, n := range nodeSweep(1, 128, opt) {
-		for si, f := range fusionStrategies {
-			b.add(si, n, n, func(s RunSpec) Point {
-				r := runCharm(opt, fusionGlobal, n, s.Seed,
-					jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: f}.Optimized())
-				opt.progress("%s t=%v", s.Name(), r.TimePerIter)
-				return Point{Nodes: n, Value: ms(r.TimePerIter)}
-			})
+// fig8Scenario runs the kernel-fusion comparison: Charm-D on a 768^3
+// grid scaled to 128 nodes, at a fixed ODF.
+func fig8Scenario(id string, odf int) *Scenario {
+	cell := func(fusion string) CellFn {
+		return func(c *Cell) Point {
+			r := c.Run("charm-d", app.Params{Global: fusionGlobal, ODF: odf, Fusion: fusion})
+			c.Progress("t=%v", r.TimePerIter)
+			return Point{Nodes: c.Nodes, Value: ms(r.TimePerIter)}
 		}
 	}
-	return b.plan()
+	series := make([]SeriesDef, len(fusionStrategies))
+	for i, f := range fusionStrategies {
+		name := "Strategy" + f
+		if f == "none" {
+			name = "Baseline"
+		}
+		series[i] = SeriesDef{name, cell(f)}
+	}
+	return &Scenario{
+		Name: id, Title: fmt.Sprintf("Kernel fusion, 768^3, ODF-%d", odf),
+		App: "jacobi3d", Machine: "summit", Kind: KindFigure,
+		XLabel: "nodes", YLabel: "time/iter (ms)",
+		Axis:   nodeAxis(1, 128),
+		Series: series,
+	}
 }
 
-func fig8a(opt Options) Plan { return fig8(opt, "fig8a", 1) }
-func fig8b(opt Options) Plan { return fig8(opt, "fig8b", 8) }
-
-// fig9 measures the speedup from CUDA graphs under each fusion
-// strategy: speedup = t(no graphs) / t(graphs). Each spec runs its
+// fig9Scenario measures the speedup from CUDA graphs under each fusion
+// strategy: speedup = t(no graphs) / t(graphs). Each cell runs its
 // base/graphed pair back to back so the ratio is self-contained.
-func fig9(opt Options, id string, odf int) Plan {
-	b := newPlan(opt, id, fmt.Sprintf("CUDA-graph speedup vs fusion, 768^3, ODF-%d", odf),
-		"nodes", "speedup (x)", "NoFusion", "FusionA", "FusionB", "FusionC")
-	for _, n := range nodeSweep(1, 128, opt) {
-		for si, f := range fusionStrategies {
-			b.add(si, n, n, func(s RunSpec) Point {
-				co := jacobi.CharmOpts{ODF: odf, GPUAware: true, Fusion: f}.Optimized()
-				base := runCharm(opt, fusionGlobal, n, s.Seed, co)
-				co.Graphs = true
-				graphed := runCharm(opt, fusionGlobal, n, s.Seed, co)
-				speedup := float64(base.TimePerIter) / float64(graphed.TimePerIter)
-				opt.progress("%s base=%v graphed=%v speedup=%.2f",
-					s.Name(), base.TimePerIter, graphed.TimePerIter, speedup)
-				return Point{Nodes: n, Value: speedup}
-			})
+func fig9Scenario(id string, odf int) *Scenario {
+	cell := func(fusion string) CellFn {
+		return func(c *Cell) Point {
+			p := app.Params{Global: fusionGlobal, ODF: odf, Fusion: fusion}
+			base := c.Run("charm-d", p)
+			p.Graphs = true
+			graphed := c.Run("charm-d", p)
+			speedup := float64(base.TimePerIter) / float64(graphed.TimePerIter)
+			c.Progress("base=%v graphed=%v speedup=%.2f",
+				base.TimePerIter, graphed.TimePerIter, speedup)
+			return Point{Nodes: c.Nodes, Value: speedup}
 		}
 	}
-	return b.plan()
+	series := make([]SeriesDef, len(fusionStrategies))
+	for i, f := range fusionStrategies {
+		name := "Fusion" + f
+		if f == "none" {
+			name = "NoFusion"
+		}
+		series[i] = SeriesDef{name, cell(f)}
+	}
+	return &Scenario{
+		Name: id, Title: fmt.Sprintf("CUDA-graph speedup vs fusion, 768^3, ODF-%d", odf),
+		App: "jacobi3d", Machine: "summit", Kind: KindFigure,
+		XLabel: "nodes", YLabel: "speedup (x)",
+		Axis:   nodeAxis(1, 128),
+		Series: series,
+	}
 }
-
-func fig9a(opt Options) Plan { return fig9(opt, "fig9a", 1) }
-func fig9b(opt Options) Plan { return fig9(opt, "fig9b", 8) }

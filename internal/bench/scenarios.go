@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"gat/internal/app"
+)
+
+// Scenarios beyond the paper's evaluation: the same experiment shapes
+// pointed at other applications and machine profiles. The non-Summit
+// profiles are illustrative datasheet models (see internal/machine),
+// so these quantify trends, not paper claims.
+
+func registerExtraScenarios() {
+	RegisterScenario(scalingScenario())
+	RegisterScenario(jacobiMachineScenario("jacobi-perlmutter", "perlmutter"))
+	RegisterScenario(jacobiMachineScenario("jacobi-frontier", "frontier"))
+	RegisterScenario(minimdLBScenario("minimd-lb", "summit", 32))
+	RegisterScenario(minimdLBScenario("minimd-frontier", "frontier", 16))
+	RegisterScenario(minimdODFScenario())
+	RegisterScenario(ringODFScenario("ring-odf", "summit"))
+	RegisterScenario(ringODFScenario("ring-odf-perlmutter", "perlmutter"))
+}
+
+// scalingScenario is the app-generic scaling sweep: one series per
+// variant of the resolved application, each run with the app's default
+// parameters at every node count. It is the scenario -app retargets:
+//
+//	sweep -scenario scaling -app minimd -machine frontier
+func scalingScenario() *Scenario {
+	return &Scenario{
+		Name:  "scaling",
+		Title: "Scaling of every variant, app defaults per node count",
+		App:   "jacobi3d", Machine: "summit", Kind: KindExtra,
+		XLabel: "nodes", YLabel: "time/iter (ms)",
+		Axis: nodeAxis(1, 64),
+		SeriesFor: func(a app.App) []SeriesDef {
+			var out []SeriesDef
+			for _, v := range a.Variants() {
+				v := v
+				out = append(out, SeriesDef{v, func(c *Cell) Point {
+					r := c.Run(v, c.Defaults())
+					c.Progress("t=%v", r.TimePerIter)
+					return Point{Nodes: c.Nodes, Value: ms(r.TimePerIter)}
+				}})
+			}
+			return out
+		},
+	}
+}
+
+// jacobiMachineScenario is the Fig 7b experiment shape (weak scaling
+// of the small problem across all four variants, fixed ODF-4 instead
+// of a best-ODF search to keep cross-machine sweeps cheap) on a
+// non-Summit profile.
+func jacobiMachineScenario(name, profile string) *Scenario {
+	cell := func(variant string) CellFn {
+		return func(c *Cell) Point {
+			p := c.Defaults() // weak-scaled 192^3/node, ODF-4
+			r := c.Run(variant, p)
+			c.Progress("t=%v", r.TimePerIter)
+			return Point{Nodes: c.Nodes, Value: us(r.TimePerIter)}
+		}
+	}
+	return &Scenario{
+		Name:  name,
+		Title: "Weak scaling 192^3/node on " + profile + " (illustrative profile)",
+		App:   "jacobi3d", Machine: profile, Kind: KindExtra,
+		XLabel: "nodes", YLabel: "time/iter (us)",
+		Axis: nodeAxis(1, 64),
+		Series: []SeriesDef{
+			{"MPI-H", cell("mpi-h")},
+			{"MPI-D", cell("mpi-d")},
+			{"Charm-H", cell("charm-h")},
+			{"Charm-D", cell("charm-d")},
+		},
+	}
+}
+
+// minimdLBScenario weak-scales the miniMD proxy and measures what
+// periodic greedy load balancing buys on its non-uniform patch
+// densities.
+func minimdLBScenario(name, profile string, hi int) *Scenario {
+	cell := func(variant string) CellFn {
+		return func(c *Cell) Point {
+			r := c.Run(variant, app.Params{ODF: 4})
+			c.Progress("t=%v", r.TimePerIter)
+			return Point{Nodes: c.Nodes, Value: ms(r.TimePerIter)}
+		}
+	}
+	return &Scenario{
+		Name:  name,
+		Title: "miniMD static vs load-balanced patches on " + profile,
+		App:   "minimd", Machine: profile, Kind: KindExtra,
+		XLabel: "nodes", YLabel: "time/step (ms)",
+		Axis: nodeAxis(1, hi),
+		Series: []SeriesDef{
+			{"Static", cell("charm-static")},
+			{"LoadBalanced", cell("charm-lb")},
+		},
+	}
+}
+
+// minimdODFScenario sweeps the patch overdecomposition factor at a
+// fixed machine size — the miniMD analogue of abl-odf.
+func minimdODFScenario() *Scenario {
+	cell := func(variant string) CellFn {
+		return func(c *Cell) Point {
+			r := c.Run(variant, app.Params{ODF: c.X})
+			c.Progress("t=%v", r.TimePerIter)
+			return Point{Nodes: c.X, Value: ms(r.TimePerIter)}
+		}
+	}
+	return &Scenario{
+		Name:  "minimd-odf",
+		Title: "miniMD ODF sensitivity at a fixed machine size",
+		App:   "minimd", Machine: "summit", Kind: KindExtra,
+		XLabel: "odf", YLabel: "time/step (ms)",
+		Axis: func(opt Options) []AxisPoint {
+			nodes := scaleNodes(4, opt)
+			var pts []AxisPoint
+			for _, odf := range []int{1, 2, 4, 8} {
+				pts = append(pts, AxisPoint{X: odf, Nodes: nodes})
+			}
+			return pts
+		},
+		Series: []SeriesDef{
+			{"Static", cell("charm-static")},
+			{"LoadBalanced", cell("charm-lb")},
+		},
+	}
+}
+
+// ringODFScenario sweeps the ring app's overdecomposition factor on a
+// two-node machine: the quickstart experiment (overdecomposition hides
+// communication) as a registered scenario.
+func ringODFScenario(name, profile string) *Scenario {
+	return &Scenario{
+		Name:  name,
+		Title: "Ring of GPU tasks: ODF hides communication, on " + profile,
+		App:   "ring", Machine: profile, Kind: KindExtra,
+		XLabel: "odf", YLabel: "time/step (ms)",
+		Axis: func(opt Options) []AxisPoint {
+			var pts []AxisPoint
+			for _, odf := range []int{1, 2, 4, 8} {
+				pts = append(pts, AxisPoint{X: odf, Nodes: 2})
+			}
+			return pts
+		},
+		Series: []SeriesDef{
+			{"Ring", func(c *Cell) Point {
+				r := c.Run("ring", app.Params{ODF: c.X})
+				c.Progress("t=%v", r.TimePerIter)
+				return Point{Nodes: c.X, Value: ms(r.TimePerIter)}
+			}},
+		},
+	}
+}

@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"hash/fnv"
+
+	"gat/internal/app"
 )
 
 // RunSpec is one self-contained simulation point of a figure: a single
@@ -28,6 +30,11 @@ type RunSpec struct {
 	// re-running a spec — alone or in a full sweep — reproduces the
 	// same simulation.
 	Seed uint64
+	// Scenario, App and Machine name the resolved experiment
+	// composition: the registered scenario (== FigID for registered
+	// plans), the application (empty for machine-level scenarios) and
+	// the machine profile the runs build.
+	Scenario, App, Machine string
 
 	run func() Point
 }
@@ -90,6 +97,11 @@ type planBuilder struct {
 	fig   Figure
 	opt   Options
 	specs []RunSpec
+	// scenario/app/machine annotate every spec with the resolved
+	// experiment composition (set by Scenario.Plan); appRef is the
+	// resolved application, consulted for default iteration counts.
+	scenario, app, machine string
+	appRef                 app.App
 }
 
 func newPlan(opt Options, id, title, xlabel, ylabel string, seriesNames ...string) *planBuilder {
@@ -107,16 +119,30 @@ func newPlan(opt Options, id, title, xlabel, ylabel string, seriesNames ...strin
 // nodes-node machine. run receives the spec (for its seed) and returns
 // the measured point.
 func (b *planBuilder) add(si, x, nodes int, run func(RunSpec) Point) {
-	cfg := b.opt.cfg([3]int{1, 1, 1}) // only for resolved iteration counts
+	// Resolved per-run iteration counts: sweep options win, then the
+	// app's defaults (zero for app-less scenarios, which run none).
+	warmup, iters := b.opt.Warmup, b.opt.Iters
+	if b.appRef != nil {
+		d := b.appRef.Defaults(nodes)
+		if warmup == 0 {
+			warmup = d.Warmup
+		}
+		if iters == 0 {
+			iters = d.Iters
+		}
+	}
 	spec := RunSpec{
 		FigID:     b.fig.ID,
 		Series:    b.fig.Series[si].Name,
 		seriesIdx: si,
 		X:         x,
 		Nodes:     nodes,
-		Warmup:    cfg.Warmup,
-		Iters:     cfg.Iters,
+		Warmup:    warmup,
+		Iters:     iters,
 		Seed:      specSeed(b.fig.ID, b.fig.Series[si].Name, x),
+		Scenario:  b.scenario,
+		App:       b.app,
+		Machine:   b.machine,
 	}
 	spec.run = func() Point { return run(spec) }
 	b.specs = append(b.specs, spec)

@@ -24,7 +24,7 @@ func testOptions() Options {
 func testMachine(nodes int) *machine.Machine {
 	cfg := machine.Summit(nodes)
 	// Zero out network noise for exact PE arithmetic where needed.
-	return machine.New(cfg)
+	return machine.MustNew(cfg)
 }
 
 func newTestRuntime(nodes int) *Runtime {

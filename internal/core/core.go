@@ -31,13 +31,18 @@ type System struct {
 // NewSystem builds a Summit-like cluster with the given node count and
 // a runtime with one PE per GPU.
 func NewSystem(nodes int) *System {
-	m := machine.New(machine.Summit(nodes))
-	return &System{M: m, RT: charm.NewRuntime(m, charm.DefaultOptions())}
+	return NewSystemOn(machine.MustNew(machine.Summit(nodes)))
 }
 
 // NewSystemFrom builds a system over a custom machine configuration.
 func NewSystemFrom(cfg machine.Config) *System {
-	m := machine.New(cfg)
+	return NewSystemOn(machine.MustNew(cfg))
+}
+
+// NewSystemOn attaches a tasking runtime (one PE per GPU) to an
+// existing machine — the path scenario apps use, since the experiment
+// layer owns machine construction.
+func NewSystemOn(m *machine.Machine) *System {
 	return &System{M: m, RT: charm.NewRuntime(m, charm.DefaultOptions())}
 }
 

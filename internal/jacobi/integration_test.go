@@ -26,7 +26,7 @@ func analyticHaloBytes(d Decomp) int64 {
 
 func TestCharmDNetworkBytesMatchAnalytic(t *testing.T) {
 	cfg := Config{Global: [3]int{192, 192, 192}, Warmup: 1, Iters: 4}
-	m := machine.New(machine.Summit(2))
+	m := machine.MustNew(machine.Summit(2))
 	res := RunCharm(m, cfg, CharmOpts{ODF: 1, GPUAware: true}.Optimized())
 	d := NewDecomp(cfg.Global, 12)
 	perIter := analyticHaloBytes(d)
@@ -41,7 +41,7 @@ func TestCharmDNetworkBytesMatchAnalytic(t *testing.T) {
 
 func TestCharmDKernelCountMatchesFormula(t *testing.T) {
 	cfg := Config{Global: [3]int{192, 192, 192}, Warmup: 1, Iters: 4}
-	m := machine.New(machine.Summit(1))
+	m := machine.MustNew(machine.Summit(1))
 	res := RunCharm(m, cfg, CharmOpts{ODF: 1, GPUAware: true}.Optimized())
 	// Per chare-iteration under FusionNone: one pack and one unpack per
 	// neighbor plus one update.
@@ -58,7 +58,7 @@ func TestCharmDKernelCountMatchesFormula(t *testing.T) {
 
 func TestFusionCKernelCountIsOnePerIterPlusInitialPack(t *testing.T) {
 	cfg := Config{Global: [3]int{192, 192, 192}, Warmup: 1, Iters: 4}
-	m := machine.New(machine.Summit(1))
+	m := machine.MustNew(machine.Summit(1))
 	res := RunCharm(m, cfg, CharmOpts{ODF: 1, GPUAware: true, Fusion: FusionC}.Optimized())
 	chares := uint64(6)
 	want := chares * uint64(cfg.Warmup+cfg.Iters+1) // +1 initial pack
@@ -69,7 +69,7 @@ func TestFusionCKernelCountIsOnePerIterPlusInitialPack(t *testing.T) {
 
 func TestMemoryPeakMatchesWorkingSet(t *testing.T) {
 	cfg := Config{Global: [3]int{384, 384, 384}, Warmup: 1, Iters: 2}
-	m := machine.New(machine.Summit(1))
+	m := machine.MustNew(machine.Summit(1))
 	RunCharm(m, cfg, CharmOpts{ODF: 2, GPUAware: true}.Optimized())
 	d := NewDecomp(cfg.Global, 12)
 	// Each GPU hosts 2 chares; working set = sum over its chares of
@@ -87,7 +87,7 @@ func TestMemoryPeakMatchesWorkingSet(t *testing.T) {
 func TestOverlapFractionCharmBeatsMPI(t *testing.T) {
 	cfg := Config{Global: [3]int{384, 384, 768}, Warmup: 1, Iters: 4}
 	overlapOf := func(run func(m *machine.Machine)) float64 {
-		m := machine.New(machine.Summit(2))
+		m := machine.MustNew(machine.Summit(2))
 		m.Eng.SetTracer(sim.NewTracer())
 		run(m)
 		return timeline.Analyze(m.Eng.Tracer(), m.Eng.Now()).OverlapFraction()
@@ -105,8 +105,8 @@ func TestOverlapFractionCharmBeatsMPI(t *testing.T) {
 
 func TestResidualOptionAddsTimeMPI(t *testing.T) {
 	cfg := Config{Global: [3]int{192, 192, 192}, Warmup: 1, Iters: 4}
-	plain := RunMPI(machine.New(machine.Summit(1)), cfg, MPIOpts{})
-	withRes := RunMPI(machine.New(machine.Summit(1)), cfg, MPIOpts{ResidualEvery: 1})
+	plain := RunMPI(machine.MustNew(machine.Summit(1)), cfg, MPIOpts{})
+	withRes := RunMPI(machine.MustNew(machine.Summit(1)), cfg, MPIOpts{ResidualEvery: 1})
 	if withRes.TimePerIter <= plain.TimePerIter {
 		t.Fatalf("residual allreduce must cost time: %v vs %v", withRes.TimePerIter, plain.TimePerIter)
 	}
@@ -114,8 +114,8 @@ func TestResidualOptionAddsTimeMPI(t *testing.T) {
 
 func TestResidualOptionCharmAsyncCheaperThanMPIBlocking(t *testing.T) {
 	cfg := Config{Global: [3]int{192, 192, 192}, Warmup: 1, Iters: 4}
-	base := RunCharm(machine.New(machine.Summit(1)), cfg, CharmOpts{ODF: 1, GPUAware: true}.Optimized())
-	withRes := RunCharm(machine.New(machine.Summit(1)), cfg,
+	base := RunCharm(machine.MustNew(machine.Summit(1)), cfg, CharmOpts{ODF: 1, GPUAware: true}.Optimized())
+	withRes := RunCharm(machine.MustNew(machine.Summit(1)), cfg,
 		CharmOpts{ODF: 1, GPUAware: true, ResidualEvery: 1}.Optimized())
 	// Asynchronous contributions must not cost anywhere near a blocking
 	// allreduce; allow a modest slowdown.
@@ -126,8 +126,8 @@ func TestResidualOptionCharmAsyncCheaperThanMPIBlocking(t *testing.T) {
 
 func TestMessagingAPISlowerThanChannelAPIInApp(t *testing.T) {
 	cfg := Config{Global: [3]int{192, 192, 192}, Warmup: 1, Iters: 6}
-	ch := RunCharm(machine.New(machine.Summit(2)), cfg, CharmOpts{ODF: 1, GPUAware: true}.Optimized())
-	msg := RunCharm(machine.New(machine.Summit(2)), cfg,
+	ch := RunCharm(machine.MustNew(machine.Summit(2)), cfg, CharmOpts{ODF: 1, GPUAware: true}.Optimized())
+	msg := RunCharm(machine.MustNew(machine.Summit(2)), cfg,
 		CharmOpts{ODF: 1, GPUAware: true, UseMessagingAPI: true}.Optimized())
 	if msg.TimePerIter <= ch.TimePerIter {
 		t.Fatalf("messaging API (%v) should be slower than channel API (%v)",
@@ -137,8 +137,8 @@ func TestMessagingAPISlowerThanChannelAPIInApp(t *testing.T) {
 
 func TestFlatPriorityHurtsOrEqual(t *testing.T) {
 	cfg := Config{Global: [3]int{384, 384, 768}, Warmup: 1, Iters: 4}
-	prio := RunCharm(machine.New(machine.Summit(2)), cfg, CharmOpts{ODF: 4, GPUAware: true}.Optimized())
-	flat := RunCharm(machine.New(machine.Summit(2)), cfg,
+	prio := RunCharm(machine.MustNew(machine.Summit(2)), cfg, CharmOpts{ODF: 4, GPUAware: true}.Optimized())
+	flat := RunCharm(machine.MustNew(machine.Summit(2)), cfg,
 		CharmOpts{ODF: 4, GPUAware: true, FlatPriority: true}.Optimized())
 	if flat.TimePerIter < prio.TimePerIter {
 		t.Fatalf("flat priorities (%v) should not beat priority streams (%v)",
@@ -152,7 +152,7 @@ func TestJitterMakesRunsVaryButSeedsReproduce(t *testing.T) {
 		mc := machine.Summit(2)
 		mc.Net.JitterFrac = 0.2
 		mc.Net.JitterSeed = seed
-		return RunMPI(machine.New(mc), cfg, MPIOpts{Device: true}).TimePerIter
+		return RunMPI(machine.MustNew(mc), cfg, MPIOpts{Device: true}).TimePerIter
 	}
 	a1, a2, b := run(1), run(1), run(2)
 	if a1 != a2 {

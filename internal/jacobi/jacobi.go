@@ -14,6 +14,7 @@ package jacobi
 
 import (
 	"fmt"
+	"strings"
 
 	"gat/internal/sim"
 )
@@ -52,6 +53,40 @@ const (
 	// per iteration.
 	FusionC
 )
+
+// ParseFusion parses a fusion strategy name as used by flags and
+// scenario parameters: "" and "none" are FusionNone; "A".."C" (either
+// case) the fused strategies.
+func ParseFusion(s string) (Fusion, error) {
+	switch strings.ToUpper(s) {
+	case "", "NONE":
+		return FusionNone, nil
+	case "A":
+		return FusionA, nil
+	case "B":
+		return FusionB, nil
+	case "C":
+		return FusionC, nil
+	default:
+		return 0, fmt.Errorf("jacobi: bad fusion strategy %q, want none|A|B|C", s)
+	}
+}
+
+// WeakGlobal grows the base per-node grid with the node count, doubling
+// one dimension per node doubling (z, then y, then x), matching the
+// paper's weak-scaling setup (§IV-B).
+func WeakGlobal(base [3]int, nodes int) [3]int {
+	g := base
+	axis := 2
+	for f := nodes; f > 1; f /= 2 {
+		g[axis] *= 2
+		axis--
+		if axis < 0 {
+			axis = 2
+		}
+	}
+	return g
+}
 
 func (f Fusion) String() string {
 	switch f {

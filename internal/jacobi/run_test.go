@@ -17,7 +17,7 @@ func largeCfg() Config {
 }
 
 func TestMPIHostRuns(t *testing.T) {
-	m := machine.New(machine.Summit(1))
+	m := machine.MustNew(machine.Summit(1))
 	res := RunMPI(m, smallCfg(), MPIOpts{})
 	if res.TimePerIter <= 0 {
 		t.Fatalf("bad result: %v", res)
@@ -28,7 +28,7 @@ func TestMPIHostRuns(t *testing.T) {
 }
 
 func TestMPIDeviceRuns(t *testing.T) {
-	m := machine.New(machine.Summit(1))
+	m := machine.MustNew(machine.Summit(1))
 	res := RunMPI(m, smallCfg(), MPIOpts{Device: true})
 	if res.TimePerIter <= 0 {
 		t.Fatalf("bad result: %v", res)
@@ -36,7 +36,7 @@ func TestMPIDeviceRuns(t *testing.T) {
 }
 
 func TestCharmHostRuns(t *testing.T) {
-	m := machine.New(machine.Summit(1))
+	m := machine.MustNew(machine.Summit(1))
 	res := RunCharm(m, smallCfg(), CharmOpts{ODF: 1}.Optimized())
 	if res.TimePerIter <= 0 {
 		t.Fatalf("bad result: %v", res)
@@ -44,7 +44,7 @@ func TestCharmHostRuns(t *testing.T) {
 }
 
 func TestCharmDeviceRuns(t *testing.T) {
-	m := machine.New(machine.Summit(1))
+	m := machine.MustNew(machine.Summit(1))
 	res := RunCharm(m, smallCfg(), CharmOpts{ODF: 2, GPUAware: true}.Optimized())
 	if res.TimePerIter <= 0 {
 		t.Fatalf("bad result: %v", res)
@@ -54,7 +54,7 @@ func TestCharmDeviceRuns(t *testing.T) {
 func TestCharmODFRunsAllVariants(t *testing.T) {
 	for _, odf := range []int{1, 2, 4} {
 		for _, aware := range []bool{false, true} {
-			m := machine.New(machine.Summit(1))
+			m := machine.MustNew(machine.Summit(1))
 			res := RunCharm(m, smallCfg(), CharmOpts{ODF: odf, GPUAware: aware}.Optimized())
 			if res.TimePerIter <= 0 {
 				t.Fatalf("odf=%d aware=%v: bad result %v", odf, aware, res)
@@ -66,8 +66,8 @@ func TestCharmODFRunsAllVariants(t *testing.T) {
 func TestDeviceAwareSmallBeatsHostStagingMPI(t *testing.T) {
 	// Small halos go GPUDirect: MPI-D must beat MPI-H (Fig 7b).
 	cfg := smallCfg()
-	mH := machine.New(machine.Summit(2))
-	mD := machine.New(machine.Summit(2))
+	mH := machine.MustNew(machine.Summit(2))
+	mD := machine.MustNew(machine.Summit(2))
 	h := RunMPI(mH, cfg, MPIOpts{})
 	d := RunMPI(mD, cfg, MPIOpts{Device: true})
 	if d.TimePerIter >= h.TimePerIter {
@@ -77,8 +77,8 @@ func TestDeviceAwareSmallBeatsHostStagingMPI(t *testing.T) {
 
 func TestCharmDBeatsCharmHSmall(t *testing.T) {
 	cfg := smallCfg()
-	mH := machine.New(machine.Summit(2))
-	mD := machine.New(machine.Summit(2))
+	mH := machine.MustNew(machine.Summit(2))
+	mD := machine.MustNew(machine.Summit(2))
 	h := RunCharm(mH, cfg, CharmOpts{ODF: 1}.Optimized())
 	d := RunCharm(mD, cfg, CharmOpts{ODF: 1, GPUAware: true}.Optimized())
 	if d.TimePerIter >= h.TimePerIter {
@@ -90,8 +90,8 @@ func TestAfterOptimizationsBeatBefore(t *testing.T) {
 	// Fig 6: removing the redundant sync and splitting transfer streams
 	// must improve Charm-H.
 	cfg := smallCfg()
-	mB := machine.New(machine.Summit(1))
-	mA := machine.New(machine.Summit(1))
+	mB := machine.MustNew(machine.Summit(1))
+	mA := machine.MustNew(machine.Summit(1))
 	before := RunCharm(mB, cfg, CharmOpts{ODF: 4})
 	after := RunCharm(mA, cfg, CharmOpts{ODF: 4}.Optimized())
 	if after.TimePerIter >= before.TimePerIter {
@@ -103,7 +103,7 @@ func TestFusionReducesKernelCount(t *testing.T) {
 	cfg := smallCfg()
 	counts := map[Fusion]uint64{}
 	for _, f := range []Fusion{FusionNone, FusionA, FusionB, FusionC} {
-		m := machine.New(machine.Summit(1))
+		m := machine.MustNew(machine.Summit(1))
 		res := RunCharm(m, cfg, CharmOpts{ODF: 1, GPUAware: true, Fusion: f}.Optimized())
 		counts[f] = res.Kernels
 	}
@@ -117,7 +117,7 @@ func TestGraphsReduceHostLaunchWork(t *testing.T) {
 	// total PE busy time must drop at high ODF.
 	cfg := smallCfg()
 	run := func(graphs bool) sim.Time {
-		m := machine.New(machine.Summit(1))
+		m := machine.MustNew(machine.Summit(1))
 		RunCharm(m, cfg, CharmOpts{ODF: 8, GPUAware: true, Graphs: graphs}.Optimized())
 		return m.Eng.Now()
 	}
@@ -132,8 +132,8 @@ func TestWeakScalingLargeProblemGPUDirectProtocolChange(t *testing.T) {
 	// 9 MB halos: MPI-D falls back to pipelined host staging across
 	// nodes, erasing most of its advantage over MPI-H (Fig 7a).
 	cfg := largeCfg()
-	mH := machine.New(machine.Summit(2))
-	mD := machine.New(machine.Summit(2))
+	mH := machine.MustNew(machine.Summit(2))
+	mD := machine.MustNew(machine.Summit(2))
 	h := RunMPI(mH, cfg, MPIOpts{})
 	d := RunMPI(mD, cfg, MPIOpts{Device: true})
 	ratio := float64(h.TimePerIter) / float64(d.TimePerIter)
@@ -147,8 +147,8 @@ func TestWeakScalingLargeProblemGPUDirectProtocolChange(t *testing.T) {
 
 func TestOverlapFlagHelpsMPI(t *testing.T) {
 	cfg := largeCfg()
-	mOff := machine.New(machine.Summit(2))
-	mOn := machine.New(machine.Summit(2))
+	mOff := machine.MustNew(machine.Summit(2))
+	mOn := machine.MustNew(machine.Summit(2))
 	off := RunMPI(mOff, cfg, MPIOpts{})
 	on := RunMPI(mOn, cfg, MPIOpts{Overlap: true})
 	if on.TimePerIter >= off.TimePerIter {
@@ -159,7 +159,7 @@ func TestOverlapFlagHelpsMPI(t *testing.T) {
 func TestDeterministicResults(t *testing.T) {
 	cfg := smallCfg()
 	run := func() Result {
-		m := machine.New(machine.Summit(1))
+		m := machine.MustNew(machine.Summit(1))
 		return RunCharm(m, cfg, CharmOpts{ODF: 2, GPUAware: true}.Optimized())
 	}
 	a, b := run(), run()
@@ -174,6 +174,6 @@ func TestFusionRequiresGPUAware(t *testing.T) {
 			t.Error("fusion without GPU-aware communication did not panic")
 		}
 	}()
-	m := machine.New(machine.Summit(1))
+	m := machine.MustNew(machine.Summit(1))
 	RunCharm(m, smallCfg(), CharmOpts{ODF: 1, Fusion: FusionC}.Optimized())
 }

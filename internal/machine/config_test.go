@@ -16,7 +16,7 @@ func TestCustomClusterConfig(t *testing.T) {
 		Net:         netsim.Summit(),
 		HostMemBW:   100e9,
 	}
-	m := New(cfg)
+	m := MustNew(cfg)
 	if m.Procs() != 12 {
 		t.Fatalf("procs = %d, want 12", m.Procs())
 	}
@@ -42,7 +42,7 @@ func TestSummitCalibrationValues(t *testing.T) {
 }
 
 func TestMachineSharedNetworkAndClock(t *testing.T) {
-	m := New(Summit(2))
+	m := MustNew(Summit(2))
 	// A transfer on the machine's network and a kernel on one of its
 	// GPUs must advance the same clock.
 	var xferAt, kernAt sim.Time

@@ -39,6 +39,30 @@ func Summit(nodes int) Config {
 	}
 }
 
+// Validate reports whether the configuration describes a buildable
+// cluster, with an error naming the offending field otherwise.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("machine: Nodes must be positive, got %d", c.Nodes)
+	case c.GPUsPerNode <= 0:
+		return fmt.Errorf("machine: GPUsPerNode must be positive, got %d", c.GPUsPerNode)
+	case c.GPU.MemBandwidth <= 0:
+		return fmt.Errorf("machine: GPU.MemBandwidth must be positive, got %g", c.GPU.MemBandwidth)
+	case c.GPU.CopyBandwidth <= 0:
+		return fmt.Errorf("machine: GPU.CopyBandwidth must be positive, got %g", c.GPU.CopyBandwidth)
+	case c.Net.InjectionBW <= 0:
+		return fmt.Errorf("machine: Net.InjectionBW must be positive, got %g", c.Net.InjectionBW)
+	case c.Net.IntraNodeBW <= 0:
+		return fmt.Errorf("machine: Net.IntraNodeBW must be positive, got %g", c.Net.IntraNodeBW)
+	case c.HostMemBW <= 0:
+		return fmt.Errorf("machine: HostMemBW must be positive, got %g", c.HostMemBW)
+	case c.Net.JitterFrac < 0 || c.Net.JitterFrac >= 1:
+		return fmt.Errorf("machine: Net.JitterFrac must be in [0,1), got %g", c.Net.JitterFrac)
+	}
+	return nil
+}
+
 // Machine is an instantiated cluster on a fresh simulation engine.
 type Machine struct {
 	Eng  *sim.Engine
@@ -47,10 +71,11 @@ type Machine struct {
 	GPUs []*gpu.Device // indexed by global PE/rank id
 }
 
-// New instantiates the cluster described by cfg.
-func New(cfg Config) *Machine {
-	if cfg.Nodes <= 0 || cfg.GPUsPerNode <= 0 {
-		panic("machine: need positive node and GPU counts")
+// New instantiates the cluster described by cfg, or returns the
+// Validate error for an impossible configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	e := sim.NewEngine()
 	m := &Machine{
@@ -61,6 +86,16 @@ func New(cfg Config) *Machine {
 	total := cfg.Nodes * cfg.GPUsPerNode
 	for i := 0; i < total; i++ {
 		m.GPUs = append(m.GPUs, gpu.New(e, fmt.Sprintf("node%d/gpu%d", i/cfg.GPUsPerNode, i%cfg.GPUsPerNode), cfg.GPU))
+	}
+	return m, nil
+}
+
+// MustNew is New for configurations known valid by construction (tests,
+// registered profiles); it panics on a Validate error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }

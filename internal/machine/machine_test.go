@@ -7,7 +7,7 @@ import (
 )
 
 func TestSummitShape(t *testing.T) {
-	m := New(Summit(4))
+	m := MustNew(Summit(4))
 	if m.Procs() != 24 {
 		t.Fatalf("procs = %d, want 24", m.Procs())
 	}
@@ -23,7 +23,7 @@ func TestSummitShape(t *testing.T) {
 }
 
 func TestMachineFreshEngine(t *testing.T) {
-	a, b := New(Summit(1)), New(Summit(1))
+	a, b := MustNew(Summit(1)), MustNew(Summit(1))
 	if a.Eng == b.Eng {
 		t.Fatal("machines must not share engines")
 	}
@@ -33,7 +33,7 @@ func TestMachineFreshEngine(t *testing.T) {
 }
 
 func TestMachineDevicesUsable(t *testing.T) {
-	m := New(Summit(1))
+	m := MustNew(Summit(1))
 	s := m.GPUOf(0).NewStream("s", 1)
 	var fired bool
 	s.Kernel("k", 100*sim.Microsecond).OnFire(m.Eng, func() { fired = true })
@@ -43,11 +43,25 @@ func TestMachineDevicesUsable(t *testing.T) {
 	}
 }
 
-func TestBadConfigPanics(t *testing.T) {
+func TestBadConfigErrors(t *testing.T) {
+	if _, err := New(Config{Nodes: 0, GPUsPerNode: 6}); err == nil {
+		t.Error("zero-node machine should return an error")
+	}
+	bad := Summit(2)
+	bad.GPUsPerNode = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero-GPU machine should return an error")
+	}
+	if err := Summit(4).Validate(); err != nil {
+		t.Errorf("Summit(4) should validate, got %v", err)
+	}
+}
+
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("zero-node machine did not panic")
+			t.Error("MustNew on a bad config did not panic")
 		}
 	}()
-	New(Config{Nodes: 0, GPUsPerNode: 6})
+	MustNew(Config{Nodes: -1})
 }

@@ -1,0 +1,127 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gat/internal/gpu"
+	"gat/internal/netsim"
+)
+
+// Profile is a named cluster configuration selectable by experiments:
+// the machine dimension of a scenario. Build returns the Config for a
+// given node count; every registered profile's output must pass
+// Config.Validate for any positive node count.
+type Profile struct {
+	// Name is the registry key (lower-case, stable across releases).
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Calibrated marks profiles validated against the real machine
+	// (only Summit today); the rest are illustrative datasheet models.
+	Calibrated bool
+	// Build returns the configuration at the given node count.
+	Build func(nodes int) Config
+}
+
+var profiles []Profile
+
+// RegisterProfile adds a profile to the registry. Duplicate names are a
+// programming error and panic at init time.
+func RegisterProfile(p Profile) {
+	if p.Name == "" || p.Build == nil {
+		panic("machine: profile needs a name and a build function")
+	}
+	for _, q := range profiles {
+		if q.Name == p.Name {
+			panic(fmt.Sprintf("machine: duplicate profile %q", p.Name))
+		}
+	}
+	profiles = append(profiles, p)
+}
+
+// Profiles returns the registered profiles in registration order
+// (built-ins first).
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ProfileByName resolves a profile, with an error naming the known
+// profiles on a miss.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return Profile{}, fmt.Errorf("machine: unknown profile %q (have: %s)",
+		name, strings.Join(names, ", "))
+}
+
+// BuildProfile resolves name and builds its Config at the given node
+// count, validating the result.
+func BuildProfile(name string, nodes int) (Config, error) {
+	p, err := ProfileByName(name)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := p.Build(nodes)
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("machine: profile %q at %d nodes: %w", name, nodes, err)
+	}
+	return cfg, nil
+}
+
+func init() {
+	RegisterProfile(Profile{
+		Name:        "summit",
+		Description: "Summit: 6x V100 per node, dual-rail EDR fat tree (paper-calibrated)",
+		Calibrated:  true,
+		Build:       Summit,
+	})
+	RegisterProfile(Profile{
+		Name:        "perlmutter",
+		Description: "Perlmutter-like: 4x A100 per node, Slingshot-11 (illustrative)",
+		Build:       Perlmutter,
+	})
+	RegisterProfile(Profile{
+		Name:        "frontier",
+		Description: "Frontier-like: 8x MI250X GCD per node, Slingshot-11 (illustrative)",
+		Build:       Frontier,
+	})
+}
+
+// Perlmutter returns an illustrative Perlmutter-like GPU-node
+// configuration: 4 A100s per node, four Slingshot-11 NICs (~100 GB/s
+// aggregate injection), NVLink3 peers. Datasheet numbers, not
+// paper-calibrated.
+func Perlmutter(nodes int) Config {
+	return Config{
+		Nodes:       nodes,
+		GPUsPerNode: 4,
+		GPU:         gpu.A100(),
+		Net:         netsim.Slingshot(100e9, 75e9),
+		HostMemBW:   200e9,
+	}
+}
+
+// Frontier returns an illustrative Frontier-like configuration: 8
+// MI250X GCDs per node (one rank per GCD), four Slingshot-11 NICs,
+// Infinity Fabric peers. Datasheet numbers, not paper-calibrated.
+func Frontier(nodes int) Config {
+	return Config{
+		Nodes:       nodes,
+		GPUsPerNode: 8,
+		GPU:         gpu.MI250X(),
+		Net:         netsim.Slingshot(100e9, 50e9),
+		HostMemBW:   205e9,
+	}
+}

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinProfilesBuildAndValidate(t *testing.T) {
+	ps := Profiles()
+	if len(ps) < 3 {
+		t.Fatalf("want >= 3 built-in profiles, got %d", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		for _, nodes := range []int{1, 2, 16} {
+			cfg, err := BuildProfile(p.Name, nodes)
+			if err != nil {
+				t.Fatalf("%s at %d nodes: %v", p.Name, nodes, err)
+			}
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatalf("%s at %d nodes: %v", p.Name, nodes, err)
+			}
+			if m.Procs() != nodes*cfg.GPUsPerNode {
+				t.Fatalf("%s: procs = %d", p.Name, m.Procs())
+			}
+		}
+	}
+	for _, want := range []string{"summit", "perlmutter", "frontier"} {
+		if !seen[want] {
+			t.Fatalf("missing built-in profile %q", want)
+		}
+	}
+}
+
+func TestOnlySummitIsCalibrated(t *testing.T) {
+	for _, p := range Profiles() {
+		if got, want := p.Calibrated, p.Name == "summit"; got != want {
+			t.Errorf("%s: Calibrated = %v, want %v", p.Name, got, want)
+		}
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	_, err := ProfileByName("nope")
+	if err == nil || !strings.Contains(err.Error(), "have:") {
+		t.Fatalf("unknown profile error should list known profiles, got %v", err)
+	}
+	if _, err := BuildProfile("nope", 4); err == nil {
+		t.Fatal("BuildProfile of unknown profile should error")
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	// The machine dimension must be consequential: the profiles model
+	// different hardware, so a timed transfer or kernel differs.
+	s, _ := BuildProfile("summit", 1)
+	f, _ := BuildProfile("frontier", 1)
+	if s.GPUsPerNode == f.GPUsPerNode && s.GPU.MemBandwidth == f.GPU.MemBandwidth {
+		t.Fatal("summit and frontier profiles are indistinguishable")
+	}
+	p, _ := BuildProfile("perlmutter", 1)
+	if p.Net.InjectionBW == s.Net.InjectionBW {
+		t.Fatal("perlmutter should not share Summit's injection bandwidth")
+	}
+}

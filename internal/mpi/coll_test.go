@@ -59,7 +59,7 @@ func TestReduceCompletesAllRoots(t *testing.T) {
 func TestCollectivesSingleRankFastPath(t *testing.T) {
 	cfg := machine.Summit(1)
 	cfg.GPUsPerNode = 1
-	w := NewWorld(machine.New(cfg), DefaultOptions())
+	w := NewWorld(machine.MustNew(cfg), DefaultOptions())
 	if w.Size() != 1 {
 		t.Fatalf("size = %d, want 1", w.Size())
 	}

@@ -8,7 +8,7 @@ import (
 )
 
 func testWorld(nodes int) *World {
-	return NewWorld(machine.New(machine.Summit(nodes)), DefaultOptions())
+	return NewWorld(machine.MustNew(machine.Summit(nodes)), DefaultOptions())
 }
 
 func TestSendRecvBasic(t *testing.T) {

@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gat/internal/bench"
+)
+
+// The golden files under testdata/ were captured from the pre-scenario
+// -redesign cmd/sweep (closed per-figure generator functions, machine
+// hard-wired to Summit). Every pre-redesign figure and ablation must
+// stay byte-identical now that -fig resolves through the scenario
+// registry — serial and parallel alike. Regenerate (only after an
+// intentional cost-model change) with:
+//
+//	go run ./cmd/sweep -fig all -maxnodes 2 -iters 2 > internal/sweep/testdata/golden_figs_n2i2.txt
+//	go run ./cmd/sweep -fig ablations -maxnodes 2 -iters 2 > internal/sweep/testdata/golden_ablations_n2i2.txt
+//	go run ./cmd/sweep -fig all -maxnodes 4 -iters 2 -csv > internal/sweep/testdata/golden_figs_n4i2.csv
+//	go run ./cmd/sweep -fig ablations -maxnodes 4 -iters 2 -csv > internal/sweep/testdata/golden_ablations_n4i2.csv
+
+func kindIDs(t *testing.T, k bench.Kind) []string {
+	t.Helper()
+	var ids []string
+	for _, s := range bench.Scenarios() {
+		if s.Kind == k {
+			ids = append(ids, s.Name)
+		}
+	}
+	if len(ids) == 0 {
+		t.Fatalf("no scenarios of kind %v registered", k)
+	}
+	return ids
+}
+
+func goldenBytes(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sweepBytes(t *testing.T, ids []string, opt bench.Options, workers int, csv bool) []byte {
+	t.Helper()
+	res, err := Sweep(ids, Options{Workers: workers, Bench: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if csv {
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		res.WriteTables(&buf)
+	}
+	return buf.Bytes()
+}
+
+func diffLine(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	line := 1
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return line
+		}
+		if a[i] == '\n' {
+			line++
+		}
+	}
+	return line
+}
+
+// TestGoldenBackCompat replays the pre-redesign golden sweeps through
+// the scenario registry, serially and with 4 workers.
+func TestGoldenBackCompat(t *testing.T) {
+	cases := []struct {
+		golden string
+		kind   bench.Kind
+		opt    bench.Options
+		csv    bool
+	}{
+		{"golden_figs_n2i2.txt", bench.KindFigure, bench.Options{MaxNodes: 2, Iters: 2}, false},
+		{"golden_ablations_n2i2.txt", bench.KindAblation, bench.Options{MaxNodes: 2, Iters: 2}, false},
+		{"golden_figs_n4i2.csv", bench.KindFigure, bench.Options{MaxNodes: 4, Iters: 2}, true},
+		{"golden_ablations_n4i2.csv", bench.KindAblation, bench.Options{MaxNodes: 4, Iters: 2}, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.golden, func(t *testing.T) {
+			want := goldenBytes(t, c.golden)
+			ids := kindIDs(t, c.kind)
+			for _, workers := range []int{1, 4} {
+				got := sweepBytes(t, ids, c.opt, workers, c.csv)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("workers=%d: output differs from pre-redesign golden at line %d\n--- got ---\n%s",
+						workers, diffLine(got, want), got)
+				}
+			}
+		})
+	}
+}

@@ -2,90 +2,128 @@ package sweep
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
-// JSON report schema, version gat-sweep-v1. Figure values are fully
+// JSON report schema, version gat-sweep-v2. Figure values are fully
 // deterministic; the wall_ns fields and the header's workers/wall_ns
 // are host-side measurements and vary run to run.
+//
+// v2 adds the per-run scenario/app/machine composition fields; it is
+// otherwise a superset of gat-sweep-v1, and ReadJSON accepts both.
 
-type jsonReport struct {
-	Schema  string       `json:"schema"`
-	Workers int          `json:"workers"`
-	WallNS  int64        `json:"wall_ns"`
-	Figures []jsonFigure `json:"figures"`
+// SchemaV1 and SchemaV2 are the accepted schema tags.
+const (
+	SchemaV1 = "gat-sweep-v1"
+	SchemaV2 = "gat-sweep-v2"
+)
+
+// Report is the on-disk sweep document.
+type Report struct {
+	Schema  string         `json:"schema"`
+	Workers int            `json:"workers"`
+	WallNS  int64          `json:"wall_ns"`
+	Figures []ReportFigure `json:"figures"`
 }
 
-type jsonFigure struct {
-	ID     string       `json:"id"`
-	Title  string       `json:"title"`
-	XLabel string       `json:"xlabel"`
-	YLabel string       `json:"ylabel"`
-	Series []jsonSeries `json:"series"`
-	Runs   []jsonRun    `json:"runs"`
+// ReportFigure is one figure with its series and per-run records.
+type ReportFigure struct {
+	ID     string         `json:"id"`
+	Title  string         `json:"title"`
+	XLabel string         `json:"xlabel"`
+	YLabel string         `json:"ylabel"`
+	Series []ReportSeries `json:"series"`
+	Runs   []ReportRun    `json:"runs"`
 }
 
-type jsonSeries struct {
-	Name   string      `json:"name"`
-	Points []jsonPoint `json:"points"`
+// ReportSeries is one rendered line.
+type ReportSeries struct {
+	Name   string        `json:"name"`
+	Points []ReportPoint `json:"points"`
 }
 
-type jsonPoint struct {
+// ReportPoint is one rendered figure value.
+type ReportPoint struct {
 	X     int     `json:"x"`
 	Value float64 `json:"value"`
 	Meta  string  `json:"meta,omitempty"`
 }
 
-// jsonRun is the per-run record: enough to re-execute the spec in
-// isolation (figure, series, x, nodes, iteration counts, seed) plus
-// the host wall-clock it cost.
-type jsonRun struct {
-	Figure string `json:"figure"`
-	Series string `json:"series"`
-	X      int    `json:"x"`
-	Nodes  int    `json:"nodes"`
-	Warmup int    `json:"warmup"`
-	Iters  int    `json:"iters"`
-	Seed   uint64 `json:"seed"`
-	WallNS int64  `json:"wall_ns"`
+// ReportRun is the per-run record: enough to re-execute the spec in
+// isolation (figure, series, x, nodes, iteration counts, seed), the
+// scenario composition that produced it (scenario, app, machine —
+// empty in v1 documents), plus the host wall-clock it cost.
+type ReportRun struct {
+	Figure   string `json:"figure"`
+	Scenario string `json:"scenario,omitempty"`
+	App      string `json:"app,omitempty"`
+	Machine  string `json:"machine,omitempty"`
+	Series   string `json:"series"`
+	X        int    `json:"x"`
+	Nodes    int    `json:"nodes"`
+	Warmup   int    `json:"warmup"`
+	Iters    int    `json:"iters"`
+	Seed     uint64 `json:"seed"`
+	WallNS   int64  `json:"wall_ns"`
 }
 
-// WriteJSON renders the sweep as an indented gat-sweep-v1 document.
+// WriteJSON renders the sweep as an indented gat-sweep-v2 document.
 func (r Result) WriteJSON(w io.Writer) error {
-	rep := jsonReport{
-		Schema:  "gat-sweep-v1",
+	rep := Report{
+		Schema:  SchemaV2,
 		Workers: r.Workers,
 		WallNS:  r.Wall.Nanoseconds(),
 	}
 	for _, f := range r.Figures {
-		jf := jsonFigure{
+		jf := ReportFigure{
 			ID:     f.Figure.ID,
 			Title:  f.Figure.Title,
 			XLabel: f.Figure.XLabel,
 			YLabel: f.Figure.YLabel,
 		}
 		for _, s := range f.Figure.Series {
-			js := jsonSeries{Name: s.Name, Points: []jsonPoint{}}
+			js := ReportSeries{Name: s.Name, Points: []ReportPoint{}}
 			for _, p := range s.Points {
-				js.Points = append(js.Points, jsonPoint{X: p.Nodes, Value: p.Value, Meta: p.Meta})
+				js.Points = append(js.Points, ReportPoint{X: p.Nodes, Value: p.Value, Meta: p.Meta})
 			}
 			jf.Series = append(jf.Series, js)
 		}
 		for _, run := range f.Runs {
-			jf.Runs = append(jf.Runs, jsonRun{
-				Figure: run.Spec.FigID,
-				Series: run.Spec.Series,
-				X:      run.Spec.X,
-				Nodes:  run.Spec.Nodes,
-				Warmup: run.Spec.Warmup,
-				Iters:  run.Spec.Iters,
-				Seed:   run.Spec.Seed,
-				WallNS: run.Wall.Nanoseconds(),
+			jf.Runs = append(jf.Runs, ReportRun{
+				Figure:   run.Spec.FigID,
+				Scenario: run.Spec.Scenario,
+				App:      run.Spec.App,
+				Machine:  run.Spec.Machine,
+				Series:   run.Spec.Series,
+				X:        run.Spec.X,
+				Nodes:    run.Spec.Nodes,
+				Warmup:   run.Spec.Warmup,
+				Iters:    run.Spec.Iters,
+				Seed:     run.Spec.Seed,
+				WallNS:   run.Wall.Nanoseconds(),
 			})
 		}
 		rep.Figures = append(rep.Figures, jf)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return enc.Encode(&rep)
+}
+
+// ReadJSON parses a sweep report, accepting both gat-sweep-v1 and
+// gat-sweep-v2 documents (v1 runs simply lack the scenario/app/machine
+// fields).
+func ReadJSON(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("sweep: invalid report JSON: %w", err)
+	}
+	switch rep.Schema {
+	case SchemaV1, SchemaV2:
+		return &rep, nil
+	default:
+		return nil, fmt.Errorf("sweep: unsupported report schema %q (want %s or %s)",
+			rep.Schema, SchemaV1, SchemaV2)
+	}
 }

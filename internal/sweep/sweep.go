@@ -22,8 +22,11 @@ import (
 type Options struct {
 	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
 	Workers int
-	// Bench is passed through to the figure plan builders.
+	// Bench is passed through to the scenario plan builders.
 	Bench bench.Options
+	// Overrides re-targets every swept scenario (machine profile, and
+	// app for app-generic scenarios).
+	Overrides bench.Overrides
 	// Progress, if non-nil, receives one line per completed run.
 	Progress io.Writer
 }
@@ -112,7 +115,7 @@ func Sweep(ids []string, opt Options) (Result, error) {
 	plans := make([]bench.Plan, len(ids))
 	var jobs []job
 	for i, id := range ids {
-		p, err := bench.PlanFor(id, opt.Bench)
+		p, err := bench.PlanScenario(id, opt.Bench, opt.Overrides)
 		if err != nil {
 			return Result{}, err
 		}

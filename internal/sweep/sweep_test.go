@@ -183,16 +183,19 @@ func TestWriteJSON(t *testing.T) {
 				} `json:"points"`
 			} `json:"series"`
 			Runs []struct {
-				Figure string `json:"figure"`
-				Seed   uint64 `json:"seed"`
-				WallNS int64  `json:"wall_ns"`
+				Figure   string `json:"figure"`
+				Scenario string `json:"scenario"`
+				App      string `json:"app"`
+				Machine  string `json:"machine"`
+				Seed     uint64 `json:"seed"`
+				WallNS   int64  `json:"wall_ns"`
 			} `json:"runs"`
 		} `json:"figures"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
 	}
-	if rep.Schema != "gat-sweep-v1" {
+	if rep.Schema != SchemaV2 {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if rep.Workers != 4 || rep.WallNS <= 0 {
@@ -209,7 +212,84 @@ func TestWriteJSON(t *testing.T) {
 			if r.Figure != f.ID {
 				t.Fatalf("run under %s claims figure %s", f.ID, r.Figure)
 			}
+			if r.Scenario != f.ID || r.Machine != "summit" {
+				t.Fatalf("run under %s missing v2 composition fields: %+v", f.ID, r)
+			}
 		}
+	}
+	// fig6a runs belong to the jacobi3d app; abl-chanapi bypasses the
+	// app layer and must say so.
+	if got := rep.Figures[0].Runs[0].App; got != "jacobi3d" {
+		t.Fatalf("fig6a app = %q", got)
+	}
+	if got := rep.Figures[1].Runs[0].App; got != "" {
+		t.Fatalf("abl-chanapi app = %q, want empty", got)
+	}
+}
+
+// TestReadJSONAcceptsV1AndV2 checks the reader side of the schema
+// bump: v2 documents round-trip, and v1 documents (no per-run
+// scenario/app/machine) still parse.
+func TestReadJSONAcceptsV1AndV2(t *testing.T) {
+	res, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaV2 || len(rep.Figures) != 1 || rep.Figures[0].Runs[0].Machine != "summit" {
+		t.Fatalf("v2 round trip lost data: %+v", rep)
+	}
+
+	v1 := `{"schema":"gat-sweep-v1","workers":1,"wall_ns":5,
+		"figures":[{"id":"fig6a","title":"t","xlabel":"nodes","ylabel":"ms",
+		"series":[{"name":"Before","points":[{"x":1,"value":2.5}]}],
+		"runs":[{"figure":"fig6a","series":"Before","x":1,"nodes":1,"warmup":3,"iters":10,"seed":7,"wall_ns":9}]}]}`
+	rep, err = ReadJSON(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Figures[0].Runs[0].Scenario != "" || rep.Figures[0].Runs[0].Seed != 7 {
+		t.Fatalf("v1 parse wrong: %+v", rep.Figures[0].Runs[0])
+	}
+
+	if _, err := ReadJSON(strings.NewReader(`{"schema":"gat-sweep-v9"}`)); err == nil {
+		t.Fatal("unknown schema should error")
+	}
+}
+
+// TestSweepMachineOverride threads Overrides through the orchestrator.
+func TestSweepMachineOverride(t *testing.T) {
+	base, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := Sweep([]string{"fig6a"}, Options{
+		Workers:   2,
+		Bench:     quickOpt(),
+		Overrides: bench.Overrides{Machine: "perlmutter"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := over.Figures[0].Runs[0].Spec.Machine; got != "perlmutter" {
+		t.Fatalf("override spec machine = %q", got)
+	}
+	var a, b bytes.Buffer
+	if err := base.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := over.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("perlmutter override produced byte-identical figures to summit")
 	}
 }
 

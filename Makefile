@@ -2,8 +2,11 @@
 # everything CI needs in one command.
 
 GO ?= go
+# Smoke targets drop their machine-readable JSON reports here; CI
+# points this at a workspace directory and uploads it as an artifact.
+SMOKE_OUT ?= /tmp
 
-.PHONY: all build test vet fmt-check check sweep-smoke scenario-smoke bench-queue bench
+.PHONY: all build test vet fmt-check check sweep-smoke scenario-smoke claims-smoke bench-queue bench bench-check
 
 all: check
 
@@ -23,23 +26,45 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# A fast end-to-end sweep: parallel output must be byte-identical to
-# the serial reference path.
+# A fast end-to-end sweep, three ways byte-identical: parallel vs the
+# serial reference path, and a warm content-addressed cache vs the
+# cold run that filled it — with the warm run simulating nothing (the
+# "[0-9]* simulated" provenance line comes from the run counter).
 sweep-smoke:
 	@$(GO) build -o /tmp/gat-sweep ./cmd/sweep
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 1 > /tmp/gat-sweep-serial.txt
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 8 > /tmp/gat-sweep-parallel.txt
 	@cmp /tmp/gat-sweep-serial.txt /tmp/gat-sweep-parallel.txt
-	@echo "sweep-smoke: parallel output byte-identical to serial"
+	@rm -rf /tmp/gat-sweep-cache
+	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -cache-dir /tmp/gat-sweep-cache > /tmp/gat-sweep-cold.txt
+	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -cache-dir /tmp/gat-sweep-cache -v \
+		> /tmp/gat-sweep-warm.txt 2> /tmp/gat-sweep-warm-log.txt
+	@cmp /tmp/gat-sweep-serial.txt /tmp/gat-sweep-cold.txt
+	@cmp /tmp/gat-sweep-cold.txt /tmp/gat-sweep-warm.txt
+	@grep -Eq "\([0-9]+ runs: 0 simulated, [0-9]+ from store, 0 resumed\)" /tmp/gat-sweep-warm-log.txt || \
+		{ echo "sweep-smoke: warm cache run still simulated:"; tail -1 /tmp/gat-sweep-warm-log.txt; exit 1; }
+	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -cache-dir /tmp/gat-sweep-cache -json > $(SMOKE_OUT)/sweep-smoke.json
+	@echo "sweep-smoke: parallel and warm-cache output byte-identical to serial; warm run simulated 0 runs"
 
 # Scenario registry smoke: the registry must list, and a non-Summit,
 # non-Jacobi composition must run end to end.
 scenario-smoke:
 	@$(GO) build -o /tmp/gat-sweep ./cmd/sweep
 	@/tmp/gat-sweep -list | grep -q minimd-frontier
-	@/tmp/gat-sweep -scenario minimd-frontier -maxnodes 2 -iters 4 -j 2 > /dev/null
+	@/tmp/gat-sweep -scenario minimd-frontier -maxnodes 2 -iters 4 -j 2 -json > $(SMOKE_OUT)/scenario-smoke.json
 	@/tmp/gat-sweep -scenario scaling -app ring -machine perlmutter -maxnodes 2 -iters 4 > /dev/null
 	@echo "scenario-smoke: registry lists; non-Summit scenarios run"
+
+# Claims smoke: all seven C1-C7 checks must execute and report at
+# reduced scale; their verdicts are advisory there (-smoke exits 0).
+claims-smoke:
+	@$(GO) build -o /tmp/gat-claims ./cmd/claims
+	@/tmp/gat-claims -maxnodes 2 -iters 2 -smoke > /tmp/gat-claims-smoke.txt
+	@for c in C1 C2 C3 C4 C5 C6 C7; do \
+		grep -q "^$$c " /tmp/gat-claims-smoke.txt || \
+			{ echo "claims-smoke: claim $$c did not report"; cat /tmp/gat-claims-smoke.txt; exit 1; }; \
+	done
+	@echo "claims-smoke: all 7 claims executed and reported"
 
 bench-queue:
 	$(GO) test -run xxx -bench BenchmarkEventQueue -benchtime 1000000x .
@@ -58,4 +83,20 @@ bench:
 	$(GO) test -run xxx -bench $(BENCH_PATTERN) -benchmem -count=6 . > /tmp/gat-bench-out.txt
 	/tmp/gat-benchjson -label $(BENCH_LABEL) -out BENCH_PR2.json -in /tmp/gat-bench-out.txt
 
+# Bench regression gate: re-measure the two headline hot-path
+# benchmarks (PR-2 pattern: medians over -count=3) and fail when
+# either is >25% slower than the committed "after" trajectory. The
+# comparison is absolute ns/op against numbers recorded on whatever
+# host last ran `make bench`, so it is only a real gate on comparable
+# hardware; CI runs it informationally (continue-on-error) because a
+# shared runner's verdict tracks the hardware gap as much as the code.
+# Re-baseline with `make bench` when the reference host changes.
+bench-check:
+	@$(GO) build -o /tmp/gat-benchjson ./cmd/benchjson
+	$(GO) test -run xxx -bench 'BenchmarkJacobiStep$$|BenchmarkZeroDelayLane$$' -benchmem -count=3 . > /tmp/gat-bench-check.txt
+	/tmp/gat-benchjson -in /tmp/gat-bench-check.txt -check BENCH_PR2.json -against after \
+		-require BenchmarkJacobiStep,BenchmarkZeroDelayLane -max-regress 25
+
+# claims-smoke is not part of check: CI runs it as its own job, and
+# doubling it into the matrix legs would just re-run identical work.
 check: build vet fmt-check test sweep-smoke scenario-smoke

@@ -15,6 +15,18 @@
 // existing labels are preserved; re-running a label replaces it. When
 // both "baseline" and "after" are present, a comparison table is
 // printed to stderr.
+//
+// Check mode gates CI on performance: instead of recording, the parsed
+// results are compared against a committed trajectory label and the
+// process fails when a named benchmark regressed beyond the tolerance:
+//
+//	go test -run xxx -bench . -count=3 . |
+//	  benchjson -check BENCH_PR2.json -against after \
+//	            -require BenchmarkJacobiStep,BenchmarkZeroDelayLane -max-regress 25
+//
+// Exit status: 0 within tolerance, 1 on regression, 2 on missing
+// benchmarks or unusable input — so a renamed benchmark cannot
+// silently disable the gate.
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Result is the aggregated measurement of one benchmark.
@@ -96,6 +109,10 @@ func main() {
 	label := flag.String("label", "run", "label to record these results under (e.g. baseline, after)")
 	out := flag.String("out", "", "trajectory file to merge into (default: write JSON to stdout)")
 	in := flag.String("in", "", "bench output file to read (default: stdin)")
+	check := flag.String("check", "", "check mode: trajectory file to compare the input against (no recording)")
+	against := flag.String("against", "after", "trajectory label to compare against in -check mode")
+	require := flag.String("require", "", "comma-separated benchmarks that must be present and within tolerance in -check mode")
+	maxRegress := flag.Float64("max-regress", 25, "allowed ns/op regression over the reference, percent (-check mode)")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -120,6 +137,10 @@ func main() {
 	agg := make(map[string]Result, len(samples))
 	for name, rs := range samples {
 		agg[name] = median(rs)
+	}
+
+	if *check != "" {
+		os.Exit(runCheck(*check, *against, *require, *maxRegress, agg))
 	}
 
 	doc := File{Schema: "gat-bench-v1", Labels: map[string]map[string]Result{}}
@@ -155,6 +176,86 @@ func main() {
 			compare(os.Stderr, base, after)
 		}
 	}
+}
+
+// runCheck is the CI regression gate: compare the freshly measured
+// medians in agg against the label recorded in the trajectory file and
+// return the process exit code (0 ok, 1 regression, 2 unusable).
+func runCheck(path, against, require string, maxRegress float64, agg map[string]Result) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: cannot read reference trajectory: %v\n", err)
+		return 2
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s is not valid gat-bench JSON: %v\n", path, err)
+		return 2
+	}
+	ref, ok := doc.Labels[against]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: %s has no label %q\n", path, against)
+		return 2
+	}
+
+	var names []string
+	if require != "" {
+		for _, n := range strings.Split(require, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	} else {
+		// No explicit list: gate every benchmark present in both.
+		for n := range agg {
+			if _, ok := ref[n]; ok {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: nothing to check (no overlapping benchmarks)")
+		return 2
+	}
+	sort.Strings(names)
+
+	code := 0
+	fmt.Printf("%-42s %12s %12s %8s  %s\n", "benchmark", "ref ns/op", "cur ns/op", "delta", "verdict")
+	for _, name := range names {
+		r, haveRef := ref[name]
+		c, haveCur := agg[name]
+		if !haveRef || !haveCur {
+			fmt.Printf("%-42s %12s %12s %8s  MISSING (ref=%v cur=%v)\n", name, "-", "-", "-", haveRef, haveCur)
+			code = 2
+			continue
+		}
+		if r.NsOp <= 0 {
+			// A zeroed reference would make every delta read 0%: the
+			// gate can't measure against it, which is a broken
+			// trajectory file, not a pass.
+			fmt.Printf("%-42s %12.1f %12.1f %8s  BAD REFERENCE (ns/op <= 0)\n", name, r.NsOp, c.NsOp, "-")
+			code = 2
+			continue
+		}
+		delta := (c.NsOp - r.NsOp) / r.NsOp * 100
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = fmt.Sprintf("REGRESSED (> %.0f%%)", maxRegress)
+			if code == 0 {
+				code = 1
+			}
+		}
+		fmt.Printf("%-42s %12.1f %12.1f %+7.1f%%  %s\n", name, r.NsOp, c.NsOp, delta, verdict)
+	}
+	switch code {
+	case 0:
+		fmt.Printf("bench-check: all %d benchmarks within %.0f%% of %q\n", len(names), maxRegress, against)
+	case 1:
+		fmt.Printf("bench-check: regression beyond %.0f%% of %q\n", maxRegress, against)
+	default:
+		fmt.Println("bench-check: missing or unusable benchmarks; the gate cannot run")
+	}
+	return code
 }
 
 // compare prints a baseline-vs-after delta table.

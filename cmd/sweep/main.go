@@ -14,19 +14,33 @@
 //	sweep -scenario minimd-lb -j 4 -v       # a non-paper scenario
 //	sweep -scenario fig7b -machine frontier # same experiment, other machine
 //	sweep -scenario scaling -app minimd -machine perlmutter
-//	sweep -fig all -json                    # gat-sweep-v2 JSON report
+//	sweep -fig all -json                    # gat-sweep-v3 JSON report
+//
+// Incremental sweeps: every run is content-addressed (a fingerprint
+// over scenario, series, x, nodes, iteration counts, seed, jitter and
+// the engine/app/machine versions), so identical runs need never be
+// simulated twice.
+//
+//	sweep -fig all -cache                   # memoize runs on disk
+//	sweep -fig all -cache -explain          # ...and say what was cached
+//	sweep -fig all -resume partial.json     # re-run only what's missing
+//
+// A warm -cache sweep emits byte-identical output to a cold one and
+// performs zero simulations.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"gat/internal/app"
 	"gat/internal/bench"
 	"gat/internal/machine"
 	"gat/internal/sweep"
+	"gat/internal/sweep/store"
 )
 
 func main() {
@@ -41,7 +55,11 @@ func main() {
 	jitter := flag.Float64("jitter", 0, "network latency jitter fraction (0 = exactly deterministic; seeded per run)")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulation runs (default: all CPUs)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	jsonOut := flag.Bool("json", false, "emit a JSON report with per-run wall-clock (gat-sweep-v2)")
+	jsonOut := flag.Bool("json", false, "emit a JSON report with per-run provenance (gat-sweep-v3)")
+	cache := flag.Bool("cache", false, "memoize runs in the content-addressed run store")
+	cacheDir := flag.String("cache-dir", "", "run store directory (implies -cache; default: user cache dir /gat/sweep)")
+	resume := flag.String("resume", "", "reuse results from a previous gat-sweep JSON report; only missing/failed runs are simulated")
+	explain := flag.Bool("explain", false, "print the per-run provenance table (simulated vs cached, keys) to stderr")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	flag.Parse()
 
@@ -66,6 +84,40 @@ func main() {
 	if *verbose {
 		opt.Progress = os.Stderr
 	}
+	if *cacheDir != "" {
+		*cache = true
+	}
+	if *cache {
+		dir := *cacheDir
+		if dir == "" {
+			base, err := os.UserCacheDir()
+			if err != nil {
+				fatalf("no default cache location (%v); pass -cache-dir", err)
+			}
+			dir = filepath.Join(base, "gat", "sweep")
+		}
+		st, err := store.Open(dir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opt.Store = st
+	}
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fatalf("cannot read -resume report: %v", err)
+		}
+		rep, err := sweep.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatalf("-resume %s: %v", *resume, err)
+		}
+		opt.Prior = sweep.NewPrior(rep)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "sweep: resuming from %s (%d reusable runs, schema %s)\n",
+				*resume, opt.Prior.Len(), rep.Schema)
+		}
+	}
 
 	ids, err := resolveIDs(*fig, *scenario)
 	if err != nil {
@@ -77,8 +129,18 @@ func main() {
 		fatalf("%v", err)
 	}
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "sweep: %d figures in %v with %d workers\n",
-			len(res.Figures), res.Wall.Round(1e6), res.Workers)
+		fmt.Fprintf(os.Stderr, "sweep: %d figures in %v with %d workers (%s)\n",
+			len(res.Figures), res.Wall.Round(1e6), res.Workers, res.Provenance())
+	}
+	if res.CacheErrors > 0 {
+		// Never silent, -v or not: a full disk or rotting cache dir
+		// means the memoization the user asked for isn't happening
+		// (figure output itself is unaffected — misses re-simulate).
+		fmt.Fprintf(os.Stderr, "sweep: warning: %d cache errors (run with -v for details); results are correct but not (fully) memoized\n",
+			res.CacheErrors)
+	}
+	if *explain {
+		res.WriteExplain(os.Stderr)
 	}
 
 	switch {

@@ -82,6 +82,26 @@ type App interface {
 	BuildRun(m *machine.Machine, variant string, p Params) (func() Metrics, error)
 }
 
+// Versioner is an optional App extension for content-addressed run
+// caching: an app whose simulated behavior changes (cost model, decomp
+// rules, default workload shape) bumps Version so fingerprints keyed
+// on its identity stop matching stale cache entries. Apps without it
+// are treated as version 0.
+type Versioner interface {
+	Version() int
+}
+
+// Identity returns the app's stable identity string, "name@vN" — the
+// application component of a run fingerprint. It changes exactly when
+// the app's simulated results may change.
+func Identity(a App) string {
+	v := 0
+	if vv, ok := a.(Versioner); ok {
+		v = vv.Version()
+	}
+	return fmt.Sprintf("%s@v%d", a.Name(), v)
+}
+
 var apps []App
 
 // Register adds an application to the registry; duplicate names are a

@@ -211,6 +211,10 @@ func (s *Scenario) Plan(opt Options, ov Overrides) (Plan, error) {
 	}
 	b := newPlan(opt, s.Name, title, s.XLabel, s.YLabel, names...)
 	b.scenario, b.app, b.machine = s.Name, appName, profName
+	b.machineID = prof.Identity()
+	if a != nil {
+		b.appID = app.Identity(a)
+	}
 	b.appRef = a
 	for _, ap := range s.Axis(opt) {
 		for si, sd := range series {

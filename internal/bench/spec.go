@@ -35,13 +35,26 @@ type RunSpec struct {
 	// plans), the application (empty for machine-level scenarios) and
 	// the machine profile the runs build.
 	Scenario, App, Machine string
+	// Jitter is the resolved network-jitter fraction the run simulates
+	// under (Options.Jitter at plan time). It is a fingerprint input:
+	// the same spec at a different jitter is a different result.
+	Jitter float64
+
+	// appID and machineID are the versioned identity strings
+	// (app.Identity, machine.Profile.Identity) behind App and Machine;
+	// they enter the fingerprint so bumping an app or profile version
+	// invalidates its cached runs without touching the engine salt.
+	appID, machineID string
 
 	run func() Point
 }
 
 // Execute runs the simulation(s) behind the spec on a private engine
 // and returns the resulting figure point.
-func (s RunSpec) Execute() Point { return s.run() }
+func (s RunSpec) Execute() Point {
+	executions.Add(1)
+	return s.run()
+}
 
 // Name returns a stable human-readable identifier for progress lines.
 func (s RunSpec) Name() string {
@@ -98,9 +111,11 @@ type planBuilder struct {
 	opt   Options
 	specs []RunSpec
 	// scenario/app/machine annotate every spec with the resolved
-	// experiment composition (set by Scenario.Plan); appRef is the
+	// experiment composition (set by Scenario.Plan); appID/machineID
+	// are the matching versioned identity strings; appRef is the
 	// resolved application, consulted for default iteration counts.
 	scenario, app, machine string
+	appID, machineID       string
 	appRef                 app.App
 }
 
@@ -143,6 +158,9 @@ func (b *planBuilder) add(si, x, nodes int, run func(RunSpec) Point) {
 		Scenario:  b.scenario,
 		App:       b.app,
 		Machine:   b.machine,
+		Jitter:    b.opt.Jitter,
+		appID:     b.appID,
+		machineID: b.machineID,
 	}
 	spec.run = func() Point { return run(spec) }
 	b.specs = append(b.specs, spec)

@@ -21,8 +21,19 @@ type Profile struct {
 	// Calibrated marks profiles validated against the real machine
 	// (only Summit today); the rest are illustrative datasheet models.
 	Calibrated bool
+	// Version is the cache-identity version of the profile's cost
+	// model: bump it whenever Build's output changes simulated results
+	// (GPU datasheet numbers, network parameters, topology), so
+	// content-addressed run caches keyed on Identity are invalidated.
+	Version int
 	// Build returns the configuration at the given node count.
 	Build func(nodes int) Config
+}
+
+// Identity returns the profile's stable identity string, "name@vN" —
+// the machine component of a run fingerprint.
+func (p Profile) Identity() string {
+	return fmt.Sprintf("%s@v%d", p.Name, p.Version)
 }
 
 var profiles []Profile
@@ -85,16 +96,19 @@ func init() {
 		Name:        "summit",
 		Description: "Summit: 6x V100 per node, dual-rail EDR fat tree (paper-calibrated)",
 		Calibrated:  true,
+		Version:     1,
 		Build:       Summit,
 	})
 	RegisterProfile(Profile{
 		Name:        "perlmutter",
 		Description: "Perlmutter-like: 4x A100 per node, Slingshot-11 (illustrative)",
+		Version:     1,
 		Build:       Perlmutter,
 	})
 	RegisterProfile(Profile{
 		Name:        "frontier",
 		Description: "Frontier-like: 8x MI250X GCD per node, Slingshot-11 (illustrative)",
+		Version:     1,
 		Build:       Frontier,
 	})
 }

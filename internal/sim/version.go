@@ -1,0 +1,11 @@
+package sim
+
+// EngineVersion is the simulation-semantics salt for content-addressed
+// run caching. Anything that changes simulated timelines — event
+// ordering rules, the cost model's arithmetic, DurationOf rounding,
+// the jitter RNG stream — MUST bump this constant, or cached figure
+// points produced by the old semantics would be served as if they came
+// from the new ones. Pure performance work that keeps output
+// byte-identical (the PR-2 contract: the lane/heap rewrite changed no
+// timeline) must NOT bump it, so caches survive engine optimizations.
+const EngineVersion = "gat-engine-1"

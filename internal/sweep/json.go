@@ -6,17 +6,23 @@ import (
 	"io"
 )
 
-// JSON report schema, version gat-sweep-v2. Figure values are fully
+// JSON report schema, version gat-sweep-v3. Figure values are fully
 // deterministic; the wall_ns fields and the header's workers/wall_ns
 // are host-side measurements and vary run to run.
 //
-// v2 adds the per-run scenario/app/machine composition fields; it is
-// otherwise a superset of gat-sweep-v1, and ReadJSON accepts both.
+// v2 added the per-run scenario/app/machine composition fields.
+// v3 adds per-run provenance — the content-address key (fingerprint),
+// the cached flag with its source (sim/store/prior), the run's own
+// value/meta, and the jitter fraction — which makes a report
+// self-contained for exact resume (-resume) and cache audits
+// (-explain). Each version is a superset of the previous one, and
+// ReadJSON accepts all three.
 
-// SchemaV1 and SchemaV2 are the accepted schema tags.
+// SchemaV1, SchemaV2 and SchemaV3 are the accepted schema tags.
 const (
 	SchemaV1 = "gat-sweep-v1"
 	SchemaV2 = "gat-sweep-v2"
+	SchemaV3 = "gat-sweep-v3"
 )
 
 // Report is the on-disk sweep document.
@@ -53,7 +59,13 @@ type ReportPoint struct {
 // ReportRun is the per-run record: enough to re-execute the spec in
 // isolation (figure, series, x, nodes, iteration counts, seed), the
 // scenario composition that produced it (scenario, app, machine —
-// empty in v1 documents), plus the host wall-clock it cost.
+// empty in v1 documents), the v3 provenance (fingerprint key, cached
+// flag and source, the run's own value), plus WallNS — the host cost
+// of the simulation that produced the value. For cached/resumed runs
+// that is the original simulation's cost carried through the store or
+// prior report, not the microseconds the lookup took, so resuming a
+// warm-sweep report never launders lookup times into saved-cost
+// accounting.
 type ReportRun struct {
 	Figure   string `json:"figure"`
 	Scenario string `json:"scenario,omitempty"`
@@ -66,12 +78,41 @@ type ReportRun struct {
 	Iters    int    `json:"iters"`
 	Seed     uint64 `json:"seed"`
 	WallNS   int64  `json:"wall_ns"`
+
+	// v3 provenance (absent in v1/v2 documents). Key is the spec's
+	// content-address fingerprint; Cached reports whether the point was
+	// served without simulating, with Source naming where from ("sim",
+	// "store" or "prior"); Value/Meta duplicate the run's figure point
+	// so a partial report resumes exactly; Jitter is the run's network
+	// jitter fraction; Error, when non-empty, marks a run whose result
+	// must not be reused (resume re-runs it). Error is reserved: the
+	// writer never emits it today — specs cannot fail, only be absent —
+	// but readers honor it so hand-annotated or externally generated
+	// reports can force selective re-runs.
+	Key    string  `json:"key,omitempty"`
+	Cached bool    `json:"cached"`
+	Source string  `json:"source,omitempty"`
+	Value  float64 `json:"value"`
+	Meta   string  `json:"meta,omitempty"`
+	Jitter float64 `json:"jitter,omitempty"`
+	Error  string  `json:"error,omitempty"`
 }
 
-// WriteJSON renders the sweep as an indented gat-sweep-v2 document.
+// keyIfVerified returns the run's fingerprint only when the value is
+// known to belong to it (simulated, store-served, or fingerprint-exact
+// resume); metadata-resumed values stay keyless so they remain
+// second-class on every future resume.
+func keyIfVerified(run Run) string {
+	if run.Verified {
+		return run.Key
+	}
+	return ""
+}
+
+// WriteJSON renders the sweep as an indented gat-sweep-v3 document.
 func (r Result) WriteJSON(w io.Writer) error {
 	rep := Report{
-		Schema:  SchemaV2,
+		Schema:  SchemaV3,
 		Workers: r.Workers,
 		WallNS:  r.Wall.Nanoseconds(),
 	}
@@ -101,7 +142,18 @@ func (r Result) WriteJSON(w io.Writer) error {
 				Warmup:   run.Spec.Warmup,
 				Iters:    run.Spec.Iters,
 				Seed:     run.Spec.Seed,
-				WallNS:   run.Wall.Nanoseconds(),
+				WallNS:   run.SimWallNS,
+				// A key asserts "this value was verified against this
+				// fingerprint". Metadata-matched resume values weren't:
+				// stamping them with the current fingerprint would make
+				// the next resume treat them as exact and write the
+				// unverified numbers through into the run store.
+				Key:    keyIfVerified(run),
+				Cached: run.Source != SourceSim,
+				Source: run.Source.String(),
+				Value:  run.Point.Value,
+				Meta:   run.Point.Meta,
+				Jitter: run.Spec.Jitter,
 			})
 		}
 		rep.Figures = append(rep.Figures, jf)
@@ -111,19 +163,18 @@ func (r Result) WriteJSON(w io.Writer) error {
 	return enc.Encode(&rep)
 }
 
-// ReadJSON parses a sweep report, accepting both gat-sweep-v1 and
-// gat-sweep-v2 documents (v1 runs simply lack the scenario/app/machine
-// fields).
+// ReadJSON parses a sweep report, accepting gat-sweep-v1, -v2 and -v3
+// documents (earlier versions simply lack the later fields).
 func ReadJSON(r io.Reader) (*Report, error) {
 	var rep Report
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("sweep: invalid report JSON: %w", err)
 	}
 	switch rep.Schema {
-	case SchemaV1, SchemaV2:
+	case SchemaV1, SchemaV2, SchemaV3:
 		return &rep, nil
 	default:
-		return nil, fmt.Errorf("sweep: unsupported report schema %q (want %s or %s)",
-			rep.Schema, SchemaV1, SchemaV2)
+		return nil, fmt.Errorf("sweep: unsupported report schema %q (want %s, %s or %s)",
+			rep.Schema, SchemaV1, SchemaV2, SchemaV3)
 	}
 }

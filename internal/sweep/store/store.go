@@ -1,0 +1,203 @@
+// Package store is the content-addressed run cache behind incremental
+// sweeps: a directory of immutable per-key JSON entries, one per
+// executed RunSpec, addressed by the spec's fingerprint
+// (bench.RunSpec.Fingerprint). Because the fingerprint covers every
+// input that determines a run's simulated result — engine-semantics
+// salt, versioned app/machine identities, experiment coordinates,
+// seed, jitter — a hit can be served without simulating, and a stale
+// entry can never be returned for current semantics: semantic changes
+// change the key, orphaning (not poisoning) old entries.
+//
+// Layout: <dir>/<key[:2]>/<key>.json, sharded on the first hash byte
+// so a full-figure cache doesn't pile thousands of files into one
+// directory. Entries are written atomically (temp file + rename), so
+// concurrent sweep workers and interrupted runs leave either a whole
+// entry or none. Corrupt or foreign files read as misses, never as
+// errors that abort a sweep: the run is simply re-simulated and the
+// entry rewritten.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gat/internal/bench"
+)
+
+// Schema is the cache-entry schema tag. Bump only when the entry file
+// format itself changes; result invalidation is the fingerprint's job.
+const Schema = "gat-cache-v1"
+
+// Entry is one cached run: the key it is filed under, the spec
+// coordinates that produced it (for humans reading the cache dir —
+// lookups trust only the key), and the resulting figure point.
+type Entry struct {
+	Schema string `json:"schema"`
+	Key    string `json:"key"`
+
+	// Provenance: where the point came from.
+	Figure   string  `json:"figure"`
+	Scenario string  `json:"scenario,omitempty"`
+	App      string  `json:"app,omitempty"`     // versioned identity, e.g. jacobi3d@v1
+	Machine  string  `json:"machine,omitempty"` // versioned identity, e.g. summit@v1
+	Series   string  `json:"series"`
+	X        int     `json:"x"`
+	Nodes    int     `json:"nodes"`
+	Warmup   int     `json:"warmup"`
+	Iters    int     `json:"iters"`
+	Seed     uint64  `json:"seed"`
+	Jitter   float64 `json:"jitter,omitempty"`
+
+	// The cached result.
+	Value float64 `json:"value"`
+	Meta  string  `json:"meta,omitempty"`
+
+	// WallNS is the host cost of the original simulation — what the
+	// hit saved. Metadata only.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// Point reconstructs the figure point the entry caches.
+func (e Entry) Point() bench.Point {
+	return bench.Point{Nodes: e.X, Value: e.Value, Meta: e.Meta}
+}
+
+// Store is an open cache directory.
+type Store struct {
+	dir string
+}
+
+// Open prepares dir as a run cache, creating it if needed and probing
+// that it is writable, so a sweep fails up front — not after an hour
+// of simulation — when the cache can't persist results.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: cannot create cache directory: %w", err)
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("store: cache directory %s is not writable: %w", dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the entry file for a key (which need not exist).
+func (s *Store) Path(key string) string {
+	shard := key
+	if len(shard) > 2 {
+		shard = shard[:2]
+	}
+	return filepath.Join(s.dir, shard, key+".json")
+}
+
+// Get looks a key up and returns the whole entry (the point via
+// Entry.Point, plus provenance like the original simulation's WallNS).
+// ok reports a usable hit; a missing entry returns (zero, false, nil)
+// and a corrupt one (unparseable JSON, wrong schema, key mismatch from
+// a renamed file) returns (zero, false, err) so the caller can log the
+// discard — both are misses, and Put later heals the slot.
+func (s *Store) Get(key string) (Entry, bool, error) {
+	data, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return Entry{}, false, nil
+		}
+		return Entry{}, false, fmt.Errorf("store: reading %s: %w", key, err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Entry{}, false, fmt.Errorf("store: corrupt entry %s: %w", key, err)
+	}
+	if e.Schema != Schema {
+		return Entry{}, false, fmt.Errorf("store: entry %s has schema %q, want %q", key, e.Schema, Schema)
+	}
+	if e.Key != key {
+		return Entry{}, false, fmt.Errorf("store: entry filed under %s claims key %s", key, e.Key)
+	}
+	return e, true, nil
+}
+
+// Put files the result of one executed spec under key, atomically:
+// the entry is complete on disk before it becomes visible, and a
+// re-put of the same key (a healed corrupt slot, a racing worker with
+// the identical result) simply replaces it.
+func (s *Store) Put(key string, spec bench.RunSpec, pt bench.Point, wallNS int64) error {
+	e := Entry{
+		Schema:   Schema,
+		Key:      key,
+		Figure:   spec.FigID,
+		Scenario: spec.Scenario,
+		App:      spec.AppIdentity(),
+		Machine:  spec.MachineIdentity(),
+		Series:   spec.Series,
+		X:        spec.X,
+		Nodes:    spec.Nodes,
+		Warmup:   spec.Warmup,
+		Iters:    spec.Iters,
+		Seed:     spec.Seed,
+		Jitter:   spec.Jitter,
+		Value:    pt.Value,
+		Meta:     pt.Meta,
+		WallNS:   wallNS,
+	}
+	// The cached point's x coordinate must round-trip: Entry.Point
+	// rebuilds it from X, so a spec whose point disagrees with its own
+	// x cell would corrupt reassembly on the next hit.
+	if pt.Nodes != spec.X {
+		return fmt.Errorf("store: spec %s produced a point at x=%d; refusing to cache", spec.Name(), pt.Nodes)
+	}
+	path := s.Path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	data, err := json.MarshalIndent(&e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+"-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Len walks the cache and returns the number of entries, for -explain
+// style diagnostics and tests. O(entries); not used on hot paths.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

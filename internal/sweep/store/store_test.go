@@ -1,0 +1,143 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gat/internal/bench"
+)
+
+// testSpec compiles a real plan and returns one spec plus its key, so
+// the cache tests exercise the same fingerprints production uses.
+func testSpec(t *testing.T) (bench.RunSpec, string) {
+	t.Helper()
+	p, err := bench.PlanScenario("fig6a", bench.Options{MaxNodes: 2, Warmup: 1, Iters: 2}, bench.Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := p.Specs[0]
+	return spec, spec.Fingerprint()
+}
+
+func TestStoreMissThenHit(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, key := testSpec(t)
+
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("empty store: Get = ok=%v err=%v, want miss with nil error", ok, err)
+	}
+
+	want := bench.Point{Nodes: spec.X, Value: 1.25, Meta: "ODF-2"}
+	if err := s.Put(key, spec, want, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if got.Point() != want {
+		t.Fatalf("round trip: got %+v, want %+v", got.Point(), want)
+	}
+	if got.WallNS != 42 {
+		t.Fatalf("round trip lost the simulation cost: wall_ns = %d, want 42", got.WallNS)
+	}
+
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1 entry", n, err)
+	}
+	// The layout contract: sharded by the first key byte.
+	if want := filepath.Join(s.Dir(), key[:2], key+".json"); s.Path(key) != want {
+		t.Fatalf("Path = %s, want %s", s.Path(key), want)
+	}
+}
+
+// TestStoreCorruptEntryIsMiss covers every way an entry can rot on
+// disk: truncated JSON, a wrong schema tag, and a file renamed under a
+// key it doesn't match. All must read as misses with a diagnostic
+// error — never a hit, never a sweep-aborting failure — and a fresh
+// Put must heal the slot.
+func TestStoreCorruptEntryIsMiss(t *testing.T) {
+	spec, key := testSpec(t)
+	cases := []struct {
+		name, content string
+	}{
+		{"truncated", `{"schema":"gat-cache-v1","key":"` + key[:8]},
+		{"wrong-schema", `{"schema":"gat-cache-v9","key":"` + key + `","x":1,"value":2}`},
+		{"key-mismatch", `{"schema":"gat-cache-v1","key":"deadbeefdeadbeefdeadbeefdeadbeef","x":1,"value":2}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := s.Path(key)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(c.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, ok, err := s.Get(key)
+			if ok {
+				t.Fatal("corrupt entry returned as a hit")
+			}
+			if err == nil {
+				t.Fatal("corrupt entry should return a diagnostic error")
+			}
+			// Put heals the slot.
+			if err := s.Put(key, spec, bench.Point{Nodes: spec.X, Value: 3.5}, 1); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok, err := s.Get(key); !ok || err != nil || got.Point().Value != 3.5 {
+				t.Fatalf("healed slot: got %+v ok=%v err=%v", got, ok, err)
+			}
+		})
+	}
+}
+
+func TestStoreOpenErrors(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") should error")
+	}
+	// A file where the directory should be.
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(blocked); err == nil {
+		t.Fatal("Open over a plain file should error")
+	}
+	if os.Geteuid() != 0 { // root ignores mode bits; the probe can't fail
+		ro := filepath.Join(dir, "ro")
+		if err := os.Mkdir(ro, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(ro); err == nil || !strings.Contains(err.Error(), "writable") {
+			t.Fatalf("Open of read-only dir: err = %v, want writability error", err)
+		}
+	}
+}
+
+// TestStorePutRejectsInconsistentPoint guards the x round trip: a
+// point whose coordinate disagrees with its spec must not be cached,
+// because Entry.Point would rebuild it at the wrong x.
+func TestStorePutRejectsInconsistentPoint(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, key := testSpec(t)
+	if err := s.Put(key, spec, bench.Point{Nodes: spec.X + 7, Value: 1}, 0); err == nil {
+		t.Fatal("Put accepted a point at the wrong x coordinate")
+	}
+	if _, ok, _ := s.Get(key); ok {
+		t.Fatal("rejected Put still created an entry")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"gat/internal/bench"
+	"gat/internal/sweep/store"
 )
 
 // Options tunes a sweep.
@@ -29,6 +30,14 @@ type Options struct {
 	Overrides bench.Overrides
 	// Progress, if non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Store, if non-nil, is the content-addressed run cache: every
+	// spec is looked up by fingerprint before simulating, and every
+	// simulated (or resumed) result is written through. Assembly order
+	// is unchanged, so cached sweeps stay byte-identical to cold ones.
+	Store *store.Store
+	// Prior, if non-nil, supplies results from a previous (possibly
+	// partial) report: matching specs are not simulated. See NewPrior.
+	Prior *Prior
 }
 
 func (o Options) workers() int {
@@ -38,13 +47,58 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Run is one executed RunSpec with its result and host-side cost.
+// Source says where a run's point came from.
+type Source uint8
+
+// Run sources, in lookup order: the fingerprint-keyed store beats a
+// prior report beats simulating.
+const (
+	// SourceSim marks a point produced by executing the simulation.
+	SourceSim Source = iota
+	// SourceStore marks a content-addressed cache hit.
+	SourceStore
+	// SourcePrior marks a point reused from a -resume report.
+	SourcePrior
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceSim:
+		return "sim"
+	case SourceStore:
+		return "store"
+	case SourcePrior:
+		return "prior"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Run is one completed RunSpec with its result, provenance and
+// host-side cost.
 type Run struct {
 	Spec  bench.RunSpec
 	Point bench.Point
+	// Key is the spec's content-address fingerprint.
+	Key string
+	// Source says whether the point was simulated, served from the run
+	// store, or reused from a resumed report.
+	Source Source
 	// Wall is the host wall-clock time the run took. Metadata only:
 	// it never influences figure values or output ordering.
 	Wall time.Duration
+	// SimWallNS is the host cost of the simulation that originally
+	// produced the point: equal to Wall for simulated runs, and
+	// carried over from the store entry / prior report for cached and
+	// resumed ones — what the hit saved, not what the lookup cost.
+	SimWallNS int64
+	// Verified reports that the point is known to belong to Key: it
+	// was simulated under it, served from the store by it, or resumed
+	// by fingerprint. v1/v2 metadata-matched resume values are not —
+	// they are kept out of the store, and reports must not stamp them
+	// with the current fingerprint (which would launder them into
+	// "exact" on the next resume).
+	Verified bool
 }
 
 // FigureResult is one reassembled figure plus its per-run metadata.
@@ -60,6 +114,14 @@ type Result struct {
 	// pool size that produced it.
 	Wall    time.Duration
 	Workers int
+	// Simulated, FromStore and FromPrior count the runs by source; a
+	// fully warm cache shows Simulated == 0.
+	Simulated, FromStore, FromPrior int
+	// CacheErrors counts non-fatal run-store failures (corrupt entries
+	// discarded, write-through errors); each is also reported on the
+	// Progress writer. The sweep's figures are unaffected: failed
+	// lookups are simulated and failed writes only lose the memo.
+	CacheErrors int
 }
 
 // Each runs fn(0..n-1) on up to workers goroutines and returns when
@@ -131,9 +193,21 @@ func Sweep(ids []string, opt Options) (Result, error) {
 	}
 
 	var (
-		mu   sync.Mutex
-		done int
+		mu        sync.Mutex
+		done      int
+		cacheErrs int
 	)
+	// complain reports a non-fatal cache problem; the run itself is
+	// unaffected (lookup failures simulate, write failures lose only
+	// the memo).
+	complain := func(err error) {
+		mu.Lock()
+		cacheErrs++
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "cache: %v\n", err)
+		}
+		mu.Unlock()
+	}
 	if opt.Progress != nil {
 		fmt.Fprintf(opt.Progress, "sweep: %d runs across %d figures on %d workers\n",
 			len(jobs), len(plans), opt.workers())
@@ -142,23 +216,78 @@ func Sweep(ids []string, opt Options) (Result, error) {
 	Each(len(jobs), opt.workers(), func(j int) {
 		fig, si := jobs[j].fig, jobs[j].spec
 		spec := plans[fig].Specs[si]
+		key := spec.Fingerprint()
 		t0 := time.Now()
-		pt := spec.Execute()
-		runs[fig][si] = Run{Spec: spec, Point: pt, Wall: time.Since(t0)}
+
+		// Lookup order: the store first — its entries are keyed on the
+		// current fingerprint, so they are always semantics-current —
+		// then the prior report (whose v1/v2 metadata matches cannot
+		// see an engine-salt bump), then the simulator.
+		pt, src := bench.Point{}, SourceSim
+		var hit PriorHit
+		var simWallNS int64
+		if opt.Store != nil {
+			e, ok, err := opt.Store.Get(key)
+			if err != nil {
+				complain(err)
+			}
+			if ok {
+				pt, src, simWallNS = e.Point(), SourceStore, e.WallNS
+			}
+		}
+		if src == SourceSim && opt.Prior != nil {
+			if h, ok := opt.Prior.Lookup(spec, key); ok {
+				hit, pt, src, simWallNS = h, h.Point, SourcePrior, h.WallNS
+			}
+		}
+		if src == SourceSim {
+			pt = spec.Execute()
+		}
+		wall := time.Since(t0)
+		if src == SourceSim {
+			simWallNS = wall.Nanoseconds()
+		}
+		// Write-through: simulated results are memoized under their
+		// fingerprint, and fingerprint-exact resumed points propagate
+		// into the store (with the original simulation's cost) so the
+		// next sweep hits without the report. The store missed in both
+		// cases, so nothing is clobbered. Metadata-matched v1/v2 resume
+		// hits stay out of the store: they were not verified against
+		// the fingerprint they would be filed under.
+		if opt.Store != nil && (src == SourceSim || (src == SourcePrior && hit.Exact)) {
+			if err := opt.Store.Put(key, spec, pt, simWallNS); err != nil {
+				complain(err)
+			}
+		}
+
+		verified := src != SourcePrior || hit.Exact
+		runs[fig][si] = Run{Spec: spec, Point: pt, Key: key, Source: src, Wall: wall, SimWallNS: simWallNS, Verified: verified}
 		if opt.Progress != nil {
+			tag := ""
+			if src != SourceSim {
+				tag = " [" + src.String() + "]"
+			}
 			mu.Lock()
 			done++
-			fmt.Fprintf(opt.Progress, "[%d/%d] %-24s %10.3f  (%v)\n",
-				done, len(jobs), spec.Name(), pt.Value, runs[fig][si].Wall.Round(time.Millisecond))
+			fmt.Fprintf(opt.Progress, "[%d/%d] %-24s %10.3f  (%v)%s\n",
+				done, len(jobs), spec.Name(), pt.Value, wall.Round(time.Millisecond), tag)
 			mu.Unlock()
 		}
 	})
 
-	res := Result{Wall: time.Since(start), Workers: opt.workers()}
+	res := Result{Wall: time.Since(start), Workers: opt.workers(), CacheErrors: cacheErrs}
 	for i, p := range plans {
 		points := make([]bench.Point, len(p.Specs))
 		for s, r := range runs[i] {
 			points[s] = r.Point
+			switch r.Source {
+			case SourceStore:
+				res.FromStore++
+			case SourcePrior:
+				res.FromPrior++
+			default:
+				res.Simulated++
+			}
 		}
 		res.Figures = append(res.Figures, FigureResult{
 			Figure: p.Assemble(points),
@@ -166,6 +295,36 @@ func Sweep(ids []string, opt Options) (Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// Provenance summarizes the run sources as a one-line string, e.g.
+// "24 runs: 12 simulated, 12 from store, 0 resumed".
+func (r Result) Provenance() string {
+	total := r.Simulated + r.FromStore + r.FromPrior
+	return fmt.Sprintf("%d runs: %d simulated, %d from store, %d resumed",
+		total, r.Simulated, r.FromStore, r.FromPrior)
+}
+
+// WriteExplain renders the per-run provenance table (spec order):
+// which runs were simulated and which were served from the cache or a
+// resumed report, under which content-address keys. This is the same
+// information the gat-sweep-v3 JSON embeds per run, shaped for humans.
+func (r Result) WriteExplain(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", r.Provenance())
+	fmt.Fprintf(w, "%-28s %-6s %-32s %s\n", "RUN", "SOURCE", "KEY", "WALL")
+	for _, f := range r.Figures {
+		for _, run := range f.Runs {
+			// Same rule as the JSON writer: a printed key asserts the
+			// value was verified against it, which metadata-resumed
+			// points never were.
+			key := run.Key
+			if !run.Verified {
+				key = "- (metadata match)"
+			}
+			fmt.Fprintf(w, "%-28s %-6s %-32s %v\n",
+				run.Spec.Name(), run.Source, key, run.Wall.Round(time.Millisecond))
+		}
+	}
 }
 
 // WriteTables renders every figure as an aligned text table, blank

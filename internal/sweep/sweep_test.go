@@ -183,19 +183,23 @@ func TestWriteJSON(t *testing.T) {
 				} `json:"points"`
 			} `json:"series"`
 			Runs []struct {
-				Figure   string `json:"figure"`
-				Scenario string `json:"scenario"`
-				App      string `json:"app"`
-				Machine  string `json:"machine"`
-				Seed     uint64 `json:"seed"`
-				WallNS   int64  `json:"wall_ns"`
+				Figure   string  `json:"figure"`
+				Scenario string  `json:"scenario"`
+				App      string  `json:"app"`
+				Machine  string  `json:"machine"`
+				Seed     uint64  `json:"seed"`
+				WallNS   int64   `json:"wall_ns"`
+				Key      string  `json:"key"`
+				Cached   bool    `json:"cached"`
+				Source   string  `json:"source"`
+				Value    float64 `json:"value"`
 			} `json:"runs"`
 		} `json:"figures"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
 	}
-	if rep.Schema != SchemaV2 {
+	if rep.Schema != SchemaV3 {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if rep.Workers != 4 || rep.WallNS <= 0 {
@@ -215,7 +219,17 @@ func TestWriteJSON(t *testing.T) {
 			if r.Scenario != f.ID || r.Machine != "summit" {
 				t.Fatalf("run under %s missing v2 composition fields: %+v", f.ID, r)
 			}
+			if len(r.Key) != 32 || r.Cached || r.Source != "sim" {
+				t.Fatalf("run under %s missing v3 provenance (want 32-char key, cached=false, source=sim): %+v", f.ID, r)
+			}
 		}
+	}
+	// The v3 per-run value must duplicate the rendered figure point, so
+	// a partial report is self-contained for resume.
+	r0 := rep.Figures[0].Runs[0]
+	p0 := rep.Figures[0].Series[0].Points[0]
+	if r0.Value != p0.Value {
+		t.Fatalf("run value %v != series point value %v", r0.Value, p0.Value)
 	}
 	// fig6a runs belong to the jacobi3d app; abl-chanapi bypasses the
 	// app layer and must say so.
@@ -227,10 +241,10 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
-// TestReadJSONAcceptsV1AndV2 checks the reader side of the schema
-// bump: v2 documents round-trip, and v1 documents (no per-run
-// scenario/app/machine) still parse.
-func TestReadJSONAcceptsV1AndV2(t *testing.T) {
+// TestReadJSONAcceptsAllVersions checks the reader side of the schema
+// bumps: v3 documents round-trip with their provenance, and v1/v2
+// documents (no fingerprints, no per-run values) still parse.
+func TestReadJSONAcceptsAllVersions(t *testing.T) {
 	res, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt()})
 	if err != nil {
 		t.Fatal(err)
@@ -243,8 +257,11 @@ func TestReadJSONAcceptsV1AndV2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != SchemaV2 || len(rep.Figures) != 1 || rep.Figures[0].Runs[0].Machine != "summit" {
-		t.Fatalf("v2 round trip lost data: %+v", rep)
+	if rep.Schema != SchemaV3 || len(rep.Figures) != 1 || rep.Figures[0].Runs[0].Machine != "summit" {
+		t.Fatalf("v3 round trip lost data: %+v", rep)
+	}
+	if rep.Figures[0].Runs[0].Key == "" || rep.Figures[0].Runs[0].Source != "sim" {
+		t.Fatalf("v3 round trip lost provenance: %+v", rep.Figures[0].Runs[0])
 	}
 
 	v1 := `{"schema":"gat-sweep-v1","workers":1,"wall_ns":5,
@@ -257,6 +274,19 @@ func TestReadJSONAcceptsV1AndV2(t *testing.T) {
 	}
 	if rep.Figures[0].Runs[0].Scenario != "" || rep.Figures[0].Runs[0].Seed != 7 {
 		t.Fatalf("v1 parse wrong: %+v", rep.Figures[0].Runs[0])
+	}
+
+	v2 := `{"schema":"gat-sweep-v2","workers":1,"wall_ns":5,
+		"figures":[{"id":"fig6a","title":"t","xlabel":"nodes","ylabel":"ms",
+		"series":[{"name":"Before","points":[{"x":1,"value":2.5}]}],
+		"runs":[{"figure":"fig6a","scenario":"fig6a","app":"jacobi3d","machine":"summit",
+		"series":"Before","x":1,"nodes":1,"warmup":3,"iters":10,"seed":7,"wall_ns":9}]}]}`
+	rep, err = ReadJSON(strings.NewReader(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Figures[0].Runs[0].Machine != "summit" || rep.Figures[0].Runs[0].Key != "" {
+		t.Fatalf("v2 parse wrong: %+v", rep.Figures[0].Runs[0])
 	}
 
 	if _, err := ReadJSON(strings.NewReader(`{"schema":"gat-sweep-v9"}`)); err == nil {

@@ -30,11 +30,16 @@ fmt-check:
 # serial reference path, and a warm content-addressed cache vs the
 # cold run that filled it — with the warm run simulating nothing (the
 # "[0-9]* simulated" provenance line comes from the run counter).
+# The tapered-fabric scenario gets the same serial-vs-parallel gate:
+# fabric link contention must not perturb deterministic reassembly.
 sweep-smoke:
 	@$(GO) build -o /tmp/gat-sweep ./cmd/sweep
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 1 > /tmp/gat-sweep-serial.txt
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 8 > /tmp/gat-sweep-parallel.txt
 	@cmp /tmp/gat-sweep-serial.txt /tmp/gat-sweep-parallel.txt
+	@/tmp/gat-sweep -scenario jacobi-taper -maxnodes 36 -iters 2 -warmup 1 -j 1 > /tmp/gat-sweep-taper-serial.txt
+	@/tmp/gat-sweep -scenario jacobi-taper -maxnodes 36 -iters 2 -warmup 1 -j 4 > /tmp/gat-sweep-taper-parallel.txt
+	@cmp /tmp/gat-sweep-taper-serial.txt /tmp/gat-sweep-taper-parallel.txt
 	@rm -rf /tmp/gat-sweep-cache
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -cache-dir /tmp/gat-sweep-cache > /tmp/gat-sweep-cold.txt
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -cache-dir /tmp/gat-sweep-cache -v \
@@ -46,14 +51,20 @@ sweep-smoke:
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -cache-dir /tmp/gat-sweep-cache -json > $(SMOKE_OUT)/sweep-smoke.json
 	@echo "sweep-smoke: parallel and warm-cache output byte-identical to serial; warm run simulated 0 runs"
 
-# Scenario registry smoke: the registry must list, and a non-Summit,
-# non-Jacobi composition must run end to end.
+# Scenario registry smoke: the registry must list (with the topology
+# column), a non-Summit, non-Jacobi composition must run end to end,
+# and one tapered-fabric run must execute and emit its link-utilization
+# provenance in the v3 JSON.
 scenario-smoke:
 	@$(GO) build -o /tmp/gat-sweep ./cmd/sweep
 	@/tmp/gat-sweep -list | grep -q minimd-frontier
+	@/tmp/gat-sweep -list | grep -q "dragonfly 2:1"
 	@/tmp/gat-sweep -scenario minimd-frontier -maxnodes 2 -iters 4 -j 2 -json > $(SMOKE_OUT)/scenario-smoke.json
 	@/tmp/gat-sweep -scenario scaling -app ring -machine perlmutter -maxnodes 2 -iters 4 > /dev/null
-	@echo "scenario-smoke: registry lists; non-Summit scenarios run"
+	@/tmp/gat-sweep -scenario jacobi-taper -maxnodes 36 -iters 2 -warmup 1 -j 4 -json > $(SMOKE_OUT)/taper-smoke.json
+	@grep -q max_link_util $(SMOKE_OUT)/taper-smoke.json || \
+		{ echo "scenario-smoke: tapered run reported no fabric-link utilization"; exit 1; }
+	@echo "scenario-smoke: registry lists; non-Summit and tapered-fabric scenarios run"
 
 # Claims smoke: all seven C1-C7 checks must execute and report at
 # reduced scale; their verdicts are advisory there (-smoke exits 0).

@@ -215,8 +215,11 @@ func listScenarios(w *os.File) {
 		fmt.Fprintf(w, "  %-10s variants: %v\n", a.Name(), a.Variants())
 	}
 	fmt.Fprintf(w, "\nmachine profiles (-machine):\n")
+	fmt.Fprintf(w, "  %-21s %-14s %s\n", "PROFILE", "TOPOLOGY", "DESCRIPTION")
 	for _, p := range machine.Profiles() {
-		fmt.Fprintf(w, "  %-11s %s\n", p.Name, p.Description)
+		// The topology/taper column comes from the built config (any
+		// node count: profiles are homogeneous in geometry).
+		fmt.Fprintf(w, "  %-21s %-14s %s\n", p.Name, p.Build(2).TopologySummary(), p.Description)
 	}
 }
 

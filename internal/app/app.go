@@ -59,10 +59,16 @@ type Metrics struct {
 	Events uint64
 	// Kernels is the total number of GPU kernels launched.
 	Kernels uint64
-	// NetBytes is the total bytes offered to the network.
+	// NetBytes is the total bytes moved on the network.
 	NetBytes int64
 	// NetMsgs is the number of network transfers.
 	NetMsgs uint64
+	// MaxLinkUtil and MeanLinkUtil are the max/mean utilization of the
+	// machine's detailed fabric links over the run (netsim
+	// Fabric.Utilizations), zero on NIC-only machines. They say where a
+	// run is network-bound: a taper sweep whose time grows with taper
+	// shows MaxLinkUtil approaching 1 on the shared links.
+	MaxLinkUtil, MeanLinkUtil float64
 }
 
 // App is one registered workload.

@@ -7,6 +7,7 @@ import (
 
 	"gat/internal/jacobi"
 	"gat/internal/machine"
+	"gat/internal/netsim"
 	"gat/internal/sim"
 )
 
@@ -124,6 +125,46 @@ func TestMiniMDLoadBalancingHelps(t *testing.T) {
 	static, lb := time("charm-static"), time("charm-lb")
 	if lb >= static {
 		t.Fatalf("load balancing did not help: static %d, lb %d", static, lb)
+	}
+}
+
+// TestMetricsCarryLinkUtilization checks the congestion plumbing end
+// to end at the app layer: on a machine with a heavily tapered fabric
+// and cross-group traffic, run metrics must report nonzero fabric-link
+// utilization; on the NIC-only Summit they must report zero.
+func TestMetricsCarryLinkUtilization(t *testing.T) {
+	tapered := machine.Summit(4)
+	tapered.Net.PodSize = 2 // two pods at test scale, so halos cross groups
+	tapered.Fabric = &netsim.FabricConfig{Taper: 8, UplinksPerPod: 1}
+	for _, name := range []string{"jacobi3d", "minimd"} {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := a.Defaults(4)
+		p.Warmup, p.Iters = 1, 2
+		if p.Global != ([3]int{}) {
+			p.Global = [3]int{96, 96, 192}
+		}
+		run, err := a.BuildRun(machine.MustNew(tapered), a.Variants()[0], p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m := run()
+		if m.MaxLinkUtil <= 0 || m.MeanLinkUtil <= 0 {
+			t.Errorf("%s on a tapered fabric: MaxLinkUtil=%g MeanLinkUtil=%g, want > 0",
+				name, m.MaxLinkUtil, m.MeanLinkUtil)
+		}
+		if m.MeanLinkUtil > m.MaxLinkUtil {
+			t.Errorf("%s: mean link util %g exceeds max %g", name, m.MeanLinkUtil, m.MaxLinkUtil)
+		}
+		run, err = a.BuildRun(summitMachine(t, 4), a.Variants()[0], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := run(); m.MaxLinkUtil != 0 || m.MeanLinkUtil != 0 {
+			t.Errorf("%s on NIC-only Summit: link util %g/%g, want zeros", name, m.MaxLinkUtil, m.MeanLinkUtil)
+		}
 	}
 }
 

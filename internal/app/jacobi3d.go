@@ -70,11 +70,13 @@ func (a jacobi3D) BuildRun(m *machine.Machine, variant string, p Params) (func()
 
 func fromResult(r jacobi.Result) Metrics {
 	return Metrics{
-		TimePerIter: r.TimePerIter,
-		Total:       r.Total,
-		Events:      r.Events,
-		Kernels:     r.Kernels,
-		NetBytes:    r.NetBytes,
-		NetMsgs:     r.NetMsgs,
+		TimePerIter:  r.TimePerIter,
+		Total:        r.Total,
+		Events:       r.Events,
+		Kernels:      r.Kernels,
+		NetBytes:     r.NetBytes,
+		NetMsgs:      r.NetMsgs,
+		MaxLinkUtil:  r.MaxLinkUtil,
+		MeanLinkUtil: r.MeanLinkUtil,
 	}
 }

@@ -162,12 +162,15 @@ func systemMetrics(m *machine.Machine, total sim.Time, steps int) Metrics {
 	for _, g := range m.GPUs {
 		kernels += g.KernelsLaunched()
 	}
+	maxU, meanU := m.Net.LinkUtilization()
 	return Metrics{
-		TimePerIter: total / sim.Time(steps),
-		Total:       total,
-		Events:      m.Eng.EventsExecuted(),
-		Kernels:     kernels,
-		NetBytes:    m.Net.BytesMoved(),
-		NetMsgs:     m.Net.Messages(),
+		TimePerIter:  total / sim.Time(steps),
+		Total:        total,
+		Events:       m.Eng.EventsExecuted(),
+		Kernels:      kernels,
+		NetBytes:     m.Net.BytesMoved(),
+		NetMsgs:      m.Net.Messages(),
+		MaxLinkUtil:  maxU,
+		MeanLinkUtil: meanU,
 	}
 }

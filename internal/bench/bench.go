@@ -66,6 +66,12 @@ type Point struct {
 	Value float64
 	// Meta annotates the point (e.g. the best ODF chosen).
 	Meta string
+	// MaxLinkUtil and MeanLinkUtil carry the run's fabric-link
+	// congestion summary (app.Metrics) into per-run provenance: the
+	// gat-sweep-v3 report, the run store, and the -v/-explain displays.
+	// They never enter rendered tables or CSV, so figure bytes are
+	// unchanged; zero on NIC-only machines.
+	MaxLinkUtil, MeanLinkUtil float64
 }
 
 // Series is one line of a figure.

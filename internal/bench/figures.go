@@ -73,14 +73,14 @@ func variantScenario(id, title, ylabel string, lo int, global func(int) [3]int, 
 		return func(c *Cell) Point {
 			r := c.Run(variant, app.Params{Global: global(c.Nodes)})
 			c.Progress("t=%v", r.TimePerIter)
-			return Point{Nodes: c.Nodes, Value: conv(r.TimePerIter)}
+			return congested(Point{Nodes: c.Nodes, Value: conv(r.TimePerIter)}, r)
 		}
 	}
 	charmCell := func(variant string) CellFn {
 		return func(c *Cell) Point {
 			r, odf := bestODFRun(c, variant, global(c.Nodes))
 			c.Progress("t=%v (odf%d)", r.TimePerIter, odf)
-			return Point{Nodes: c.Nodes, Value: conv(r.TimePerIter), Meta: fmt.Sprintf("ODF-%d", odf)}
+			return congested(Point{Nodes: c.Nodes, Value: conv(r.TimePerIter), Meta: fmt.Sprintf("ODF-%d", odf)}, r)
 		}
 	}
 	return &Scenario{

@@ -41,9 +41,19 @@ func (s RunSpec) Fingerprint() string {
 // salt; split out so tests can prove that bumping the salt invalidates
 // every key.
 func (s RunSpec) fingerprint(salt string) string {
+	// The scenario component is versioned (Scenario.Identity): cell
+	// logic with embedded cost-model constants — NewMachineWith fabric
+	// parameters, search sets — invalidates its own keys by bumping
+	// Scenario.Version. At version 0 the identity is the plain name,
+	// the exact bytes pre-versioned keys hashed. Specs built outside
+	// Scenario.Plan (tests) fall back to the name.
+	sid := s.scenarioID
+	if sid == "" {
+		sid = s.Scenario
+	}
 	h := sha256.New()
 	fmt.Fprintf(h, "gat-run|engine=%s|fig=%s|scenario=%s|app=%s|machine=%s|series=%s|x=%d|nodes=%d|warmup=%d|iters=%d|seed=%d|jitter=%s",
-		salt, s.FigID, s.Scenario, s.appID, s.machineID, s.Series,
+		salt, s.FigID, sid, s.appID, s.machineID, s.Series,
 		s.X, s.Nodes, s.Warmup, s.Iters, s.Seed,
 		strconv.FormatFloat(s.Jitter, 'g', -1, 64))
 	sum := h.Sum(nil)

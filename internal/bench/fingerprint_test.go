@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func fpOpt() Options { return Options{MaxNodes: 2, Warmup: 1, Iters: 2} }
 
@@ -93,6 +96,104 @@ func TestFingerprintEngineSaltInvalidates(t *testing.T) {
 	}
 	if spec.Fingerprint() != a {
 		t.Fatal("Fingerprint() does not use the current sim.EngineVersion salt")
+	}
+}
+
+// TestFingerprintTaperedProfileBumpIsScoped proves profile-version
+// invalidation stays scoped: bumping a tapered profile's version moves
+// exactly the keys of specs running on that profile, while specs on
+// the untouched base profile keep their keys bit for bit — a fabric
+// cost-model fix never orphans NIC-only cache entries.
+func TestFingerprintTaperedProfileBumpIsScoped(t *testing.T) {
+	summit := planSpecs(t, "fig6a", fpOpt(), Overrides{})[0]
+	tapered := planSpecs(t, "fig6a", fpOpt(), Overrides{Machine: "summit-tapered-2x"})[0]
+	if summit.MachineIdentity() != "summit@v1" {
+		t.Fatalf("summit identity = %q", summit.MachineIdentity())
+	}
+	if tapered.MachineIdentity() != "summit-tapered-2x@v1" {
+		t.Fatalf("tapered identity = %q", tapered.MachineIdentity())
+	}
+	if summit.Fingerprint() == tapered.Fingerprint() {
+		t.Fatal("summit and summit-tapered-2x specs share a fingerprint")
+	}
+
+	// Simulate a version bump of the tapered profile: only the spec
+	// whose machineID carries the bumped identity changes key.
+	bumped := tapered
+	bumped.machineID = "summit-tapered-2x@v2"
+	if bumped.Fingerprint() == tapered.Fingerprint() {
+		t.Fatal("tapered profile version bump did not change its fingerprint")
+	}
+	// The summit spec's canonical input never mentions the tapered
+	// identity, so its key is untouched by construction — pin that the
+	// identity really is the only delta between the two tapered keys.
+	unbumped := bumped
+	unbumped.machineID = tapered.MachineIdentity()
+	if unbumped.Fingerprint() != tapered.Fingerprint() {
+		t.Fatal("machineID is not the only fingerprint input that differed")
+	}
+	if summit.Fingerprint() != planSpecs(t, "fig6a", fpOpt(), Overrides{})[0].Fingerprint() {
+		t.Fatal("summit fingerprint moved while only the tapered profile changed")
+	}
+}
+
+// TestFingerprintScenarioVersion proves the scenario-version component
+// is live and legacy-safe: a scenario at Version 0 hashes its plain
+// name (the exact form pre-versioned caches used — pinned separately
+// by TestFingerprintGolden), a versioned scenario hashes "name@vN",
+// and bumping the version changes that scenario's keys only. This is
+// what covers cost-model constants embedded in cell closures (e.g. the
+// taper scenarios' fabric parameters), which no app or machine version
+// can see.
+func TestFingerprintScenarioVersion(t *testing.T) {
+	s, err := ScenarioByName("jacobi-taper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version == 0 {
+		t.Fatal("jacobi-taper embeds fabric parameters in its cells; it must carry a nonzero Version")
+	}
+	if got, want := s.Identity(), fmt.Sprintf("jacobi-taper@v%d", s.Version); got != want {
+		t.Fatalf("Identity = %q, want %q", got, want)
+	}
+	fig6a, err := ScenarioByName("fig6a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig6a.Identity() != "fig6a" {
+		t.Fatalf("version-0 identity = %q, want the plain legacy name", fig6a.Identity())
+	}
+
+	spec := planSpecs(t, "jacobi-taper", fpOpt(), Overrides{})[0]
+	base := spec.Fingerprint()
+	bumped := spec
+	bumped.scenarioID = fmt.Sprintf("jacobi-taper@v%d", s.Version+1)
+	if bumped.Fingerprint() == base {
+		t.Fatal("scenario version bump did not change the fingerprint")
+	}
+	if planSpecs(t, "fig6a", fpOpt(), Overrides{})[0].Fingerprint() !=
+		planSpecs(t, "fig6a", fpOpt(), Overrides{})[0].Fingerprint() {
+		t.Fatal("unrelated scenario keys unstable")
+	}
+}
+
+// TestTaperScenarioShapes pins the congestion scenarios' structure:
+// the taper axis holds the machine size fixed while x sweeps the
+// ratio, and their points carry the fabric congestion summary.
+func TestTaperScenarioShapes(t *testing.T) {
+	for _, id := range []string{"jacobi-taper", "minimd-taper"} {
+		specs := planSpecs(t, id, fpOpt(), Overrides{})
+		if len(specs) == 0 {
+			t.Fatalf("%s: empty plan", id)
+		}
+		for _, s := range specs {
+			if s.Nodes != specs[0].Nodes {
+				t.Fatalf("%s: node count varies along the taper axis (%d vs %d)", id, s.Nodes, specs[0].Nodes)
+			}
+		}
+		if specs[0].X != 1 {
+			t.Fatalf("%s: first taper point x=%d, want 1 (the no-contention baseline)", id, specs[0].X)
+		}
 	}
 }
 

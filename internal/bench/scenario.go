@@ -83,6 +83,15 @@ type Scenario struct {
 	Machine string
 	// Kind groups the scenario for listings and -fig aliases.
 	Kind Kind
+	// Version is the cache-identity version of the scenario's own cell
+	// logic: bump it when constants embedded in the cells change
+	// simulated results — a NewMachineWith fabric parameter, a search
+	// set, a fixed problem size — so content-addressed run caches are
+	// invalidated for this scenario only. Parameters owned by the app
+	// or the machine profile are covered by their own versions; zero
+	// (the common case) keeps the legacy fingerprint form, so
+	// pre-versioned cache keys survive.
+	Version int
 	// XLabel and YLabel are the axis captions.
 	XLabel, YLabel string
 	// Axis returns the sweep positions, honoring opt.MaxNodes.
@@ -126,9 +135,23 @@ type Cell struct {
 // NewMachine builds a fresh machine on the cell's profile at the
 // cell's node count, wired to the sweep's jitter options.
 func (c *Cell) NewMachine() *machine.Machine {
+	return c.NewMachineWith(nil)
+}
+
+// NewMachineWith is NewMachine with a configuration hook: mutate (when
+// non-nil) runs on the built profile config before the machine is
+// instantiated. It is how sweep axes that are machine properties —
+// e.g. the fabric taper ratio of the congestion scenarios — vary per
+// cell without registering one profile per axis point. The mutated
+// config is validated by machine.MustNew, so an impossible mutation
+// fails loudly at the cell, not deep in a run.
+func (c *Cell) NewMachineWith(mutate func(*machine.Config)) *machine.Machine {
 	cfg := c.profile.Build(c.Nodes)
 	cfg.Net.JitterFrac = c.opt.Jitter
 	cfg.Net.JitterSeed = c.Seed
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	return machine.MustNew(cfg)
 }
 
@@ -144,6 +167,12 @@ func (c *Cell) Defaults() app.Params { return c.app.Defaults(c.Nodes) }
 // (so -iters/-warmup always win, even over app defaults); fields left
 // zero fall through to the app's own defaults.
 func (c *Cell) Run(variant string, p app.Params) app.Metrics {
+	return c.RunOn(c.NewMachine(), variant, p)
+}
+
+// RunOn is Run on a caller-built machine (NewMachine/NewMachineWith),
+// for cells whose sweep axis is a machine property.
+func (c *Cell) RunOn(m *machine.Machine, variant string, p app.Params) app.Metrics {
 	if c.app == nil {
 		panic(fmt.Sprintf("bench: cell %s belongs to an app-less scenario; use NewMachine", c.name))
 	}
@@ -153,7 +182,7 @@ func (c *Cell) Run(variant string, p app.Params) app.Metrics {
 	if c.opt.Iters != 0 {
 		p.Iters = c.opt.Iters
 	}
-	run, err := c.app.BuildRun(c.NewMachine(), variant, p)
+	run, err := c.app.BuildRun(m, variant, p)
 	if err != nil {
 		panic(fmt.Sprintf("bench: cell %s: %v", c.name, err))
 	}
@@ -211,6 +240,7 @@ func (s *Scenario) Plan(opt Options, ov Overrides) (Plan, error) {
 	}
 	b := newPlan(opt, s.Name, title, s.XLabel, s.YLabel, names...)
 	b.scenario, b.app, b.machine = s.Name, appName, profName
+	b.scenarioID = s.Identity()
 	b.machineID = prof.Identity()
 	if a != nil {
 		b.appID = app.Identity(a)
@@ -233,6 +263,17 @@ func (s *Scenario) Plan(opt Options, ov Overrides) (Plan, error) {
 		}
 	}
 	return b.plan(), nil
+}
+
+// Identity returns the scenario's fingerprint component: the plain
+// name at Version 0 — the exact form every pre-versioned cache key
+// hashed, so introducing the version field orphaned nothing — and
+// "name@vN" once bumped.
+func (s *Scenario) Identity() string {
+	if s.Version == 0 {
+		return s.Name
+	}
+	return fmt.Sprintf("%s@v%d", s.Name, s.Version)
 }
 
 // --- registry ---

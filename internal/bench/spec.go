@@ -40,11 +40,14 @@ type RunSpec struct {
 	// the same spec at a different jitter is a different result.
 	Jitter float64
 
-	// appID and machineID are the versioned identity strings
-	// (app.Identity, machine.Profile.Identity) behind App and Machine;
-	// they enter the fingerprint so bumping an app or profile version
+	// appID, machineID and scenarioID are the versioned identity
+	// strings (app.Identity, machine.Profile.Identity,
+	// Scenario.Identity) behind App, Machine and Scenario; they enter
+	// the fingerprint so bumping an app, profile or scenario version
 	// invalidates its cached runs without touching the engine salt.
-	appID, machineID string
+	// scenarioID equals Scenario while every version is 0, preserving
+	// pre-versioned keys.
+	appID, machineID, scenarioID string
 
 	run func() Point
 }
@@ -111,12 +114,13 @@ type planBuilder struct {
 	opt   Options
 	specs []RunSpec
 	// scenario/app/machine annotate every spec with the resolved
-	// experiment composition (set by Scenario.Plan); appID/machineID
-	// are the matching versioned identity strings; appRef is the
-	// resolved application, consulted for default iteration counts.
-	scenario, app, machine string
-	appID, machineID       string
-	appRef                 app.App
+	// experiment composition (set by Scenario.Plan);
+	// scenarioID/appID/machineID are the matching versioned identity
+	// strings; appRef is the resolved application, consulted for
+	// default iteration counts.
+	scenario, app, machine       string
+	appID, machineID, scenarioID string
+	appRef                       app.App
 }
 
 func newPlan(opt Options, id, title, xlabel, ylabel string, seriesNames ...string) *planBuilder {
@@ -147,20 +151,21 @@ func (b *planBuilder) add(si, x, nodes int, run func(RunSpec) Point) {
 		}
 	}
 	spec := RunSpec{
-		FigID:     b.fig.ID,
-		Series:    b.fig.Series[si].Name,
-		seriesIdx: si,
-		X:         x,
-		Nodes:     nodes,
-		Warmup:    warmup,
-		Iters:     iters,
-		Seed:      specSeed(b.fig.ID, b.fig.Series[si].Name, x),
-		Scenario:  b.scenario,
-		App:       b.app,
-		Machine:   b.machine,
-		Jitter:    b.opt.Jitter,
-		appID:     b.appID,
-		machineID: b.machineID,
+		FigID:      b.fig.ID,
+		Series:     b.fig.Series[si].Name,
+		seriesIdx:  si,
+		X:          x,
+		Nodes:      nodes,
+		Warmup:     warmup,
+		Iters:      iters,
+		Seed:       specSeed(b.fig.ID, b.fig.Series[si].Name, x),
+		Scenario:   b.scenario,
+		App:        b.app,
+		Machine:    b.machine,
+		Jitter:     b.opt.Jitter,
+		appID:      b.appID,
+		machineID:  b.machineID,
+		scenarioID: b.scenarioID,
 	}
 	spec.run = func() Point { return run(spec) }
 	b.specs = append(b.specs, spec)

@@ -110,6 +110,11 @@ type Device struct {
 
 	d2h, h2d *sim.Pipe
 
+	// streamPool holds the reusable transient streams handed out by
+	// AcquireStream; an entry with an empty op queue is idle and may be
+	// re-acquired.
+	streamPool []*Stream
+
 	kernelCount uint64
 	copyCount   uint64
 

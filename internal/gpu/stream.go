@@ -45,6 +45,35 @@ func (d *Device) NewStream(name string, prio int) *Stream {
 	return s
 }
 
+// AcquireStream returns an idle stream from the device's pool —
+// creating and pooling a new one only when every pooled stream still
+// has operations in flight — relabeled with the given name and
+// priority. An idle stream is behaviorally identical to a fresh one
+// (its queue is empty, so no ordering carries over), which lets
+// transient per-message streams (netsim host staging) be reused
+// instead of allocated, keeping the steady state allocation-free.
+//
+// The caller must enqueue the stream's operations before the device's
+// next AcquireStream call (i.e. synchronously, before returning to the
+// event loop); a stream with pending operations is never handed out
+// again until they complete. There is no release call: a stream
+// returns to circulation by draining.
+func (d *Device) AcquireStream(name string, prio int) *Stream {
+	for _, s := range d.streamPool {
+		if len(s.ops) == 0 {
+			s.name, s.prio = name, prio
+			return s
+		}
+	}
+	s := d.NewStream(name, prio)
+	d.streamPool = append(d.streamPool, s)
+	return s
+}
+
+// PooledStreams returns the number of streams in the device's
+// acquire pool (for reuse assertions in tests).
+func (d *Device) PooledStreams() int { return len(d.streamPool) }
+
 // Device returns the owning device.
 func (s *Stream) Device() *Device { return s.dev }
 

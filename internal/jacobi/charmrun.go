@@ -128,14 +128,7 @@ func RunCharm(m *machine.Machine, cfg Config, opt CharmOpts) Result {
 	drv.arr.Broadcast(charm.Msg{Entry: entryStart})
 	m.Eng.Run()
 
-	return Result{
-		TimePerIter: (drv.tEnd - drv.tWarm) / sim.Time(cfg.Iters),
-		Total:       m.Eng.Now(),
-		Events:      m.Eng.EventsExecuted(),
-		Kernels:     totalKernels(m),
-		NetBytes:    m.Net.BytesMoved(),
-		NetMsgs:     m.Net.Messages(),
-	}
+	return result(m, (drv.tEnd-drv.tWarm)/sim.Time(cfg.Iters))
 }
 
 func state(el *charm.Elem) *chState { return el.State.(*chState) }

@@ -137,10 +137,14 @@ type Result struct {
 	Events uint64
 	// Kernels is the total number of GPU kernels launched.
 	Kernels uint64
-	// NetBytes is the total bytes offered to the network.
+	// NetBytes is the total bytes moved on the network.
 	NetBytes int64
 	// NetMsgs is the number of network transfers.
 	NetMsgs uint64
+	// MaxLinkUtil and MeanLinkUtil summarize the detailed fabric's
+	// link utilization over the run (zero on NIC-only machines) — the
+	// congestion signal of taper studies.
+	MaxLinkUtil, MeanLinkUtil float64
 }
 
 func (r Result) String() string {

@@ -150,13 +150,21 @@ func RunMPI(m *machine.Machine, cfg Config, opts MPIOpts) Result {
 		}
 	})
 
+	return result(m, (tEnd-tWarm)/sim.Time(cfg.Iters))
+}
+
+// result assembles the machine-wide counters shared by both runtimes.
+func result(m *machine.Machine, perIter sim.Time) Result {
+	maxU, meanU := m.Net.LinkUtilization()
 	return Result{
-		TimePerIter: (tEnd - tWarm) / sim.Time(cfg.Iters),
-		Total:       m.Eng.Now(),
-		Events:      m.Eng.EventsExecuted(),
-		Kernels:     totalKernels(m),
-		NetBytes:    m.Net.BytesMoved(),
-		NetMsgs:     m.Net.Messages(),
+		TimePerIter:  perIter,
+		Total:        m.Eng.Now(),
+		Events:       m.Eng.EventsExecuted(),
+		Kernels:      totalKernels(m),
+		NetBytes:     m.Net.BytesMoved(),
+		NetMsgs:      m.Net.Messages(),
+		MaxLinkUtil:  maxU,
+		MeanLinkUtil: meanU,
 	}
 }
 

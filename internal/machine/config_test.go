@@ -41,6 +41,71 @@ func TestSummitCalibrationValues(t *testing.T) {
 	}
 }
 
+func TestValidateFabricSection(t *testing.T) {
+	base := Summit(2)
+	ok := base
+	ok.Fabric = &netsim.FabricConfig{Taper: 2, UplinksPerPod: 3}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid fabric config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no bandwidth or taper", func(c *Config) { c.Fabric = &netsim.FabricConfig{} }},
+		{"negative uplink BW", func(c *Config) { c.Fabric = &netsim.FabricConfig{UplinkBW: -1} }},
+		{"negative taper", func(c *Config) { c.Fabric = &netsim.FabricConfig{Taper: -2} }},
+		{"negative links", func(c *Config) { c.Fabric = &netsim.FabricConfig{Taper: 2, UplinksPerPod: -1} }},
+		{"negative overhead", func(c *Config) { c.Fabric = &netsim.FabricConfig{Taper: 2, LinkOverhead: -5} }},
+		{"unknown topology", func(c *Config) { c.Net.Topology = "torus" }},
+	}
+	for _, c := range cases {
+		cfg := base
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an impossible fabric config", c.name)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted an impossible fabric config", c.name)
+		}
+	}
+}
+
+func TestNewAttachesFabric(t *testing.T) {
+	cfg := Summit(40) // 40 nodes: more than two 18-node pods
+	cfg.Fabric = &netsim.FabricConfig{Taper: 4, UplinksPerPod: 3}
+	m := MustNew(cfg)
+	if m.Net.Fabric() == nil {
+		t.Fatal("machine.New did not attach the configured fabric")
+	}
+	// Cross-pod traffic must register on the shared links.
+	m.Net.Transfer(0, 20, 1<<20, sim.FiredSignal())
+	m.Eng.Run()
+	if max, mean := m.Net.LinkUtilization(); max <= 0 || mean <= 0 {
+		t.Fatalf("fabric saw no utilization: max=%g mean=%g", max, mean)
+	}
+	if MustNew(Summit(2)).Net.Fabric() != nil {
+		t.Fatal("NIC-only profile grew a fabric")
+	}
+}
+
+func TestTopologySummary(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Summit(2), "fattree"},
+		{taperedFatTree(Summit, 2)(2), "fattree 2:1"},
+		{taperedFatTree(Summit, 4)(2), "fattree 4:1"},
+		{dragonflyVariant(Perlmutter, 2)(2), "dragonfly 2:1"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.TopologySummary(); got != c.want {
+			t.Errorf("TopologySummary = %q, want %q", got, c.want)
+		}
+	}
+}
+
 func TestMachineSharedNetworkAndClock(t *testing.T) {
 	m := MustNew(Summit(2))
 	// A transfer on the machine's network and a kernel on one of its

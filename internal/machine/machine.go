@@ -22,6 +22,12 @@ type Config struct {
 	GPU gpu.Config
 	// Net is the interconnect cost model.
 	Net netsim.Config
+	// Fabric, when non-nil, attaches netsim's detailed contention
+	// fabric: shared per-group uplinks/downlinks (sized by UplinkBW or
+	// the Taper ratio) that cross-group transfers reserve in addition
+	// to the endpoint NICs. Nil keeps the NIC-only model every
+	// pre-fabric profile uses, so existing results are unaffected.
+	Fabric *netsim.FabricConfig
 	// HostMemBW is host memory bandwidth per node in bytes/s, used for
 	// intra-node host-message copies.
 	HostMemBW float64
@@ -60,7 +66,45 @@ func (c Config) Validate() error {
 	case c.Net.JitterFrac < 0 || c.Net.JitterFrac >= 1:
 		return fmt.Errorf("machine: Net.JitterFrac must be in [0,1), got %g", c.Net.JitterFrac)
 	}
+	podSize := c.Net.PodSize
+	if podSize <= 0 {
+		podSize = 1 // netsim.New defaults it; only the name matters here
+	}
+	if _, err := netsim.TopologyByName(c.Net.Topology, podSize); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	if f := c.Fabric; f != nil {
+		switch {
+		case f.UplinkBW < 0:
+			return fmt.Errorf("machine: Fabric.UplinkBW must not be negative, got %g", f.UplinkBW)
+		case f.Taper < 0:
+			return fmt.Errorf("machine: Fabric.Taper must not be negative, got %g", f.Taper)
+		case f.UplinkBW == 0 && f.Taper == 0:
+			return fmt.Errorf("machine: Fabric needs UplinkBW or a Taper ratio")
+		case f.UplinksPerPod < 0:
+			return fmt.Errorf("machine: Fabric.UplinksPerPod must not be negative, got %d", f.UplinksPerPod)
+		case f.LinkOverhead < 0:
+			return fmt.Errorf("machine: Fabric.LinkOverhead must not be negative, got %v", f.LinkOverhead)
+		}
+	}
 	return nil
+}
+
+// TopologySummary names the configured switch geometry with its taper,
+// e.g. "fattree", "fattree 4:1", "dragonfly 2:1" — the topology column
+// of profile listings.
+func (c Config) TopologySummary() string {
+	name := c.Net.Topology
+	if name == "" {
+		name = netsim.TopoFatTree
+	}
+	if c.Fabric == nil {
+		return name
+	}
+	if c.Fabric.Taper > 0 {
+		return fmt.Sprintf("%s %g:1", name, c.Fabric.Taper)
+	}
+	return name + " fabric"
 }
 
 // Machine is an instantiated cluster on a fresh simulation engine.
@@ -82,6 +126,11 @@ func New(cfg Config) (*Machine, error) {
 		Eng: e,
 		Cfg: cfg,
 		Net: netsim.New(e, cfg.Net, cfg.Nodes),
+	}
+	if cfg.Fabric != nil {
+		// Before any traffic by construction: the network was created on
+		// the line above.
+		m.Net.EnableFabric(*cfg.Fabric)
 	}
 	total := cfg.Nodes * cfg.GPUsPerNode
 	for i := 0; i < total; i++ {

@@ -111,6 +111,60 @@ func init() {
 		Version:     1,
 		Build:       Frontier,
 	})
+	// Fabric-backed variants: the same cost models with the detailed
+	// contention fabric attached. Each is its own profile (not a
+	// mutation of the base), so its "name@vN" identity versions its
+	// fabric parameters independently: bumping a tapered profile's
+	// Version invalidates cached runs for that profile only, never for
+	// the untouched base machines.
+	RegisterProfile(Profile{
+		Name:        "summit-tapered-2x",
+		Description: "Summit with a 2:1 tapered fat tree (3 uplinks/pod; contention study)",
+		Version:     1,
+		Build:       taperedFatTree(Summit, 2),
+	})
+	RegisterProfile(Profile{
+		Name:        "summit-tapered-4x",
+		Description: "Summit with a 4:1 tapered fat tree (3 uplinks/pod; contention study)",
+		Version:     1,
+		Build:       taperedFatTree(Summit, 4),
+	})
+	RegisterProfile(Profile{
+		Name:        "perlmutter-dragonfly",
+		Description: "Perlmutter-like on an explicit dragonfly (2:1 global taper, illustrative)",
+		Version:     1,
+		Build:       dragonflyVariant(Perlmutter, 2),
+	})
+	RegisterProfile(Profile{
+		Name:        "frontier-dragonfly",
+		Description: "Frontier-like on an explicit dragonfly (2:1 global taper, illustrative)",
+		Version:     1,
+		Build:       dragonflyVariant(Frontier, 2),
+	})
+}
+
+// taperedFatTree wraps a base profile builder with a detailed fat-tree
+// fabric tapered by the given ratio (uplink bandwidth derived from the
+// pod's aggregate injection bandwidth / taper, over 3 parallel links).
+func taperedFatTree(base func(int) Config, taper float64) func(int) Config {
+	return func(nodes int) Config {
+		cfg := base(nodes)
+		cfg.Fabric = &netsim.FabricConfig{Taper: taper, UplinksPerPod: 3}
+		return cfg
+	}
+}
+
+// dragonflyVariant wraps a base profile builder with a dragonfly
+// topology and explicit global links tapered by the given ratio, the
+// Slingshot-class geometry the base Slingshot cost model approximates
+// with hop counts alone.
+func dragonflyVariant(base func(int) Config, taper float64) func(int) Config {
+	return func(nodes int) Config {
+		cfg := base(nodes)
+		cfg.Net.Topology = netsim.TopoDragonfly
+		cfg.Fabric = &netsim.FabricConfig{Taper: taper, UplinksPerPod: 2}
+		return cfg
+	}
 }
 
 // Perlmutter returns an illustrative Perlmutter-like GPU-node

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"gat/internal/netsim"
 )
 
 func TestBuiltinProfilesBuildAndValidate(t *testing.T) {
@@ -31,9 +33,55 @@ func TestBuiltinProfilesBuildAndValidate(t *testing.T) {
 			}
 		}
 	}
-	for _, want := range []string{"summit", "perlmutter", "frontier"} {
+	for _, want := range []string{
+		"summit", "perlmutter", "frontier",
+		"summit-tapered-2x", "summit-tapered-4x",
+		"perlmutter-dragonfly", "frontier-dragonfly",
+	} {
 		if !seen[want] {
 			t.Fatalf("missing built-in profile %q", want)
+		}
+	}
+}
+
+// TestFabricProfiles pins the fabric-backed variants: tapered profiles
+// attach a tapered fat tree, dragonfly profiles switch topology, and
+// the base profiles they wrap stay NIC-only and untouched — their
+// cached results must survive this PR.
+func TestFabricProfiles(t *testing.T) {
+	cases := []struct {
+		name, topo string
+		taper      float64
+	}{
+		{"summit-tapered-2x", "fattree", 2},
+		{"summit-tapered-4x", "fattree", 4},
+		{"perlmutter-dragonfly", netsim.TopoDragonfly, 2},
+		{"frontier-dragonfly", netsim.TopoDragonfly, 2},
+	}
+	for _, c := range cases {
+		cfg, err := BuildProfile(c.name, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if cfg.Fabric == nil || cfg.Fabric.Taper != c.taper {
+			t.Errorf("%s: fabric = %+v, want taper %g", c.name, cfg.Fabric, c.taper)
+		}
+		wantTopo := c.topo
+		gotTopo := cfg.Net.Topology
+		if gotTopo == "" {
+			gotTopo = "fattree"
+		}
+		if gotTopo != wantTopo {
+			t.Errorf("%s: topology = %q, want %q", c.name, gotTopo, wantTopo)
+		}
+	}
+	for _, base := range []string{"summit", "perlmutter", "frontier"} {
+		cfg, err := BuildProfile(base, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", base, err)
+		}
+		if cfg.Fabric != nil || cfg.Net.Topology != "" {
+			t.Errorf("base profile %s grew fabric/topology settings; that would invalidate its cached runs", base)
 		}
 	}
 }

@@ -6,21 +6,28 @@ import (
 	"gat/internal/sim"
 )
 
-// Detailed fabric model: an optional two-level fat tree with explicit
-// leaf-uplink and spine-downlink pipes, so that traffic between pods
-// contends on shared links instead of only on endpoint NICs. The
-// default NIC-only model is a good approximation of Summit's
+// Detailed fabric model: optional explicit group-egress and
+// group-ingress pipes — leaf uplinks and spine downlinks on a fat
+// tree, global out/in links on a dragonfly — so traffic between switch
+// groups contends on shared links instead of only on endpoint NICs.
+// The default NIC-only model is a good approximation of Summit's
 // non-blocking fat tree; the detailed model exists to study what the
 // paper's results look like on a *tapered* fabric, where link
 // contention grows with scale.
 
 // FabricConfig parameterizes the detailed fabric.
 type FabricConfig struct {
-	// UplinkBW is the bandwidth of one leaf-switch uplink in bytes/s.
-	// With UplinkBW < PodSize*InjectionBW the fabric is tapered.
+	// UplinkBW is the bandwidth of one group egress/ingress link in
+	// bytes/s. With UplinkBW < PodSize*InjectionBW/UplinksPerPod the
+	// fabric is tapered. Zero derives it from Taper.
 	UplinkBW float64
-	// UplinksPerPod is the number of parallel uplinks per leaf switch;
-	// flows hash over them by (src, dst).
+	// Taper, when UplinkBW is zero, derives the link bandwidth from the
+	// taper ratio: the group's aggregate uplink bandwidth is
+	// PodSize*InjectionBW/Taper, split over UplinksPerPod links. Taper 1
+	// is a non-blocking (fully provisioned) fabric; Taper 2 a 2:1 taper.
+	Taper float64
+	// UplinksPerPod is the number of parallel egress (and ingress) links
+	// per switch group; flows hash over them by (src, dst).
 	UplinksPerPod int
 	// LinkOverhead is the per-message occupancy overhead of each link.
 	LinkOverhead sim.Time
@@ -29,29 +36,43 @@ type FabricConfig struct {
 // Fabric is the instantiated link set.
 type Fabric struct {
 	cfg FabricConfig
-	// up[pod][i] carries pod->spine traffic; down[pod][i] spine->pod.
+	// up[g][i] carries group-egress traffic; down[g][i] group-ingress.
 	up, down [][]*sim.Pipe
 }
 
 // EnableFabric attaches a detailed fabric to the network. Transfers
-// between different pods then reserve an uplink and a downlink in
-// addition to the endpoint NICs.
+// between different switch groups (Topology.Group) then reserve an
+// egress and an ingress link in addition to the endpoint NICs.
+//
+// It must be called before any traffic is offered (before the first
+// Transfer): links attached mid-run would have missed earlier
+// contention and report utilization against the wrong elapsed time, so
+// a late call panics. Machine-layer configurations attach the fabric
+// at machine.New time via Config.Fabric, which always satisfies this.
 func (n *Network) EnableFabric(cfg FabricConfig) *Fabric {
+	if n.offered {
+		panic("netsim: EnableFabric called after traffic was offered; attach the fabric before any Transfer")
+	}
 	if cfg.UplinksPerPod <= 0 {
 		cfg.UplinksPerPod = 1
 	}
-	if cfg.UplinkBW <= 0 {
-		panic("netsim: fabric needs positive uplink bandwidth")
+	if cfg.UplinkBW <= 0 && cfg.Taper > 0 {
+		cfg.UplinkBW = float64(n.cfg.PodSize) * n.cfg.InjectionBW /
+			(cfg.Taper * float64(cfg.UplinksPerPod))
 	}
-	pods := (len(n.nics) + n.cfg.PodSize - 1) / n.cfg.PodSize
+	if cfg.UplinkBW <= 0 {
+		panic("netsim: fabric needs a positive uplink bandwidth or taper ratio")
+	}
+	groups := n.topo.Group(len(n.nics)-1) + 1
+	label := n.topo.groupLabel()
 	f := &Fabric{cfg: cfg}
-	for p := 0; p < pods; p++ {
+	for g := 0; g < groups; g++ {
 		var ups, downs []*sim.Pipe
 		for i := 0; i < cfg.UplinksPerPod; i++ {
 			ups = append(ups, sim.NewPipe(n.eng,
-				fmt.Sprintf("pod%d/up%d", p, i), cfg.UplinkBW, cfg.LinkOverhead))
+				fmt.Sprintf("%s%d/up%d", label, g, i), cfg.UplinkBW, cfg.LinkOverhead))
 			downs = append(downs, sim.NewPipe(n.eng,
-				fmt.Sprintf("pod%d/down%d", p, i), cfg.UplinkBW, cfg.LinkOverhead))
+				fmt.Sprintf("%s%d/down%d", label, g, i), cfg.UplinkBW, cfg.LinkOverhead))
 		}
 		f.up = append(f.up, ups)
 		f.down = append(f.down, downs)
@@ -60,22 +81,35 @@ func (n *Network) EnableFabric(cfg FabricConfig) *Fabric {
 	return f
 }
 
-// pick hashes a flow onto one of the pod's parallel links.
+// Config returns the fabric parameters, with derived fields (an
+// UplinkBW computed from Taper) resolved.
+func (f *Fabric) Config() FabricConfig { return f.cfg }
+
+// pick hashes a flow onto one of the group's parallel links. The
+// (src, dst) pair is run through a full 64-bit finalizer (splitmix64)
+// rather than a multiply-add: halo traffic is stride-aligned (partner
+// = rank + k), and a linear hash mod a power-of-two link count maps
+// every such flow onto one link, defeating the parallel uplinks.
 func (f *Fabric) pick(links []*sim.Pipe, src, dst int) *sim.Pipe {
-	h := uint64(src)*2654435761 + uint64(dst)*40503
+	h := uint64(src)<<32 | uint64(uint32(dst))
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
 	return links[h%uint64(len(links))]
 }
 
-// reserve books the fabric path for a cross-pod message, cut-through
+// reserve books the fabric path for a cross-group message, cut-through
 // after the tx NIC: each stage starts one hop latency after the
-// previous stage's start. It returns the spine-downlink occupancy
+// previous stage's start. It returns the ingress-link occupancy
 // window, which gates the receive side.
 func (f *Fabric) reserve(n *Network, src, dst int, bytes int64, txStart sim.Time) (downStart, downEnd sim.Time) {
-	srcPod := src / n.cfg.PodSize
-	dstPod := dst / n.cfg.PodSize
+	srcGrp := n.topo.Group(src)
+	dstGrp := n.topo.Group(dst)
 	hop := n.cfg.LatencyPerHop
-	upStart, _ := f.pick(f.up[srcPod], src, dst).Reserve(txStart+hop, bytes)
-	return f.pick(f.down[dstPod], src, dst).Reserve(upStart+hop, bytes)
+	upStart, _ := f.pick(f.up[srcGrp], src, dst).Reserve(txStart+hop, bytes)
+	return f.pick(f.down[dstGrp], src, dst).Reserve(upStart+hop, bytes)
 }
 
 // Utilizations returns the utilization of every fabric link, keyed by
@@ -90,4 +124,27 @@ func (f *Fabric) Utilizations() map[string]float64 {
 		}
 	}
 	return out
+}
+
+// UtilizationSummary reduces Utilizations to the max and mean link
+// utilization — the per-run congestion summary experiments report.
+func (f *Fabric) UtilizationSummary() (max, mean float64) {
+	var sum float64
+	var count int
+	for _, set := range [][][]*sim.Pipe{f.up, f.down} {
+		for _, links := range set {
+			for _, l := range links {
+				u := l.Utilization()
+				if u > max {
+					max = u
+				}
+				sum += u
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		mean = sum / float64(count)
+	}
+	return max, mean
 }

@@ -41,9 +41,15 @@ type Config struct {
 	PipelineChunkOverhead sim.Time
 	// PipelineChunkSize is the chunk granularity of that path.
 	PipelineChunkSize int64
-	// PodSize is the number of nodes per leaf switch in the fat tree,
-	// used for hop counting.
+	// PodSize is the number of nodes per switch group — the leaf pod of
+	// a fat tree, the router group of a dragonfly — used for hop
+	// counting and for attaching the detailed fabric's shared links.
 	PodSize int
+	// Topology selects the switch geometry by registry name
+	// (TopologyByName): "" or "fattree" is the two-level fat tree the
+	// calibrated Summit model always used; "dragonfly" models
+	// group-local vs. global links for Slingshot-class machines.
+	Topology string
 	// JitterFrac, when positive, perturbs each transfer's latency by a
 	// uniform ±fraction drawn from a seeded RNG. It models the
 	// run-to-run variability of a shared production fabric (the paper
@@ -85,16 +91,23 @@ type NIC struct {
 type Network struct {
 	eng    *sim.Engine
 	cfg    Config
+	topo   Topology
 	nics   []*NIC
 	intra  []*sim.Pipe // per-node intra-node peer path
 	rng    *sim.RNG    // jitter source; nil when JitterFrac == 0
-	fabric *Fabric     // optional detailed fat-tree links
+	fabric *Fabric     // optional detailed shared fabric links
+
+	// offered marks that Transfer has been called at least once; the
+	// detailed fabric must be attached before that (EnableFabric).
+	offered bool
 
 	messages uint64
 	bytes    int64
 }
 
-// New builds a network connecting nodes nodes.
+// New builds a network connecting nodes nodes. An unknown
+// Config.Topology name panics; machine.Config.Validate reports it as
+// an error first for configurations built through the machine layer.
 func New(e *sim.Engine, cfg Config, nodes int) *Network {
 	if nodes <= 0 {
 		panic("netsim: need at least one node")
@@ -102,7 +115,11 @@ func New(e *sim.Engine, cfg Config, nodes int) *Network {
 	if cfg.PodSize <= 0 {
 		cfg.PodSize = 18
 	}
-	n := &Network{eng: e, cfg: cfg}
+	topo, err := TopologyByName(cfg.Topology, cfg.PodSize)
+	if err != nil {
+		panic(err)
+	}
+	n := &Network{eng: e, cfg: cfg, topo: topo}
 	if cfg.JitterFrac > 0 {
 		n.rng = sim.NewRNG(cfg.JitterSeed)
 	}
@@ -129,24 +146,39 @@ func (n *Network) Config() Config { return n.cfg }
 // NIC returns node i's NIC.
 func (n *Network) NIC(i int) *NIC { return n.nics[i] }
 
-// Messages returns the number of transfers completed or in flight.
+// Messages returns the number of transfers that have started moving
+// data (their ready signal fired): completed or in flight. Transfers
+// scheduled behind a ready signal that has not fired — including runs
+// truncated by RunUntil — are not counted.
 func (n *Network) Messages() uint64 { return n.messages }
 
-// BytesMoved returns the total bytes offered to the network.
+// BytesMoved returns the total bytes of the transfers counted by
+// Messages: bytes whose movement has started, not merely been
+// scheduled.
 func (n *Network) BytesMoved() int64 { return n.bytes }
 
-// Hops returns the switch hop count between two nodes in the fat tree:
-// 0 within a node, 2 within a leaf pod, 4 across pods.
-func (n *Network) Hops(a, b int) int {
-	switch {
-	case a == b:
-		return 0
-	case a/n.cfg.PodSize == b/n.cfg.PodSize:
-		return 2
-	default:
-		return 4
+// Topology returns the switch geometry the network routes through.
+func (n *Network) Topology() Topology { return n.topo }
+
+// Fabric returns the detailed fabric, or nil when the NIC-only model
+// is in effect.
+func (n *Network) Fabric() *Fabric { return n.fabric }
+
+// LinkUtilization returns the max and mean utilization over the
+// detailed fabric's links, or zeros when no fabric is attached — the
+// congestion summary experiments report per run.
+func (n *Network) LinkUtilization() (max, mean float64) {
+	if n.fabric == nil {
+		return 0, 0
 	}
+	return n.fabric.UtilizationSummary()
 }
+
+// Hops returns the switch hop count between two nodes under the
+// configured topology: 0 within a node, 2 within a switch group, and
+// the topology's cross-group distance (4 for the fat tree, 3 for the
+// dragonfly minimal route) otherwise.
+func (n *Network) Hops(a, b int) int { return n.topo.Hops(a, b) }
 
 // Latency returns the one-way wire latency between two nodes,
 // including jitter when enabled.
@@ -173,18 +205,34 @@ func (n *Network) RTT(a, b int) sim.Time { return 2 * n.Latency(a, b) }
 // injection, offset by the wire latency, so a large message occupies
 // the network for size/bandwidth once, not twice. Intra-node transfers
 // use the peer path instead of the NIC.
+//
+// The Messages/BytesMoved counters advance when the transfer starts
+// (ready fires), not at schedule time, so truncated runs and
+// never-fired ready signals do not overstate traffic.
 func (n *Network) Transfer(src, dst int, bytes int64, ready *sim.Signal) *sim.Signal {
-	n.messages++
-	n.bytes += bytes
+	n.offered = true
 	if src == dst {
+		if ready.Fired() {
+			// The dominant already-ready path stays allocation-free:
+			// the transfer starts now, so count now.
+			n.messages++
+			n.bytes += bytes
+		} else {
+			ready.OnFire(n.eng, func() {
+				n.messages++
+				n.bytes += bytes
+			})
+		}
 		return n.intra[src].TransferAfter(ready, bytes)
 	}
 	arrived := sim.NewSignal()
 	ready.OnFire(n.eng, func() {
+		n.messages++
+		n.bytes += bytes
 		txStart, _ := n.nics[src].TX.Reserve(n.eng.Now(), bytes)
 		rxEarliest := txStart + n.Latency(src, dst)
 		var downEnd sim.Time
-		if n.fabric != nil && src/n.cfg.PodSize != dst/n.cfg.PodSize {
+		if n.fabric != nil && n.topo.Group(src) != n.topo.Group(dst) {
 			var downStart sim.Time
 			downStart, downEnd = n.fabric.reserve(n, src, dst, bytes, txStart)
 			if e := downStart + n.cfg.LatencyPerHop; e > rxEarliest {

@@ -231,6 +231,48 @@ func TestTransferCounters(t *testing.T) {
 	}
 }
 
+// TestTransferCountersFireTime is the truncated-run regression test:
+// counters must reflect transfers that started, not transfers that
+// were merely scheduled behind a ready signal.
+func TestTransferCountersFireTime(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, testConfig(), 4)
+
+	// A never-fired ready must contribute nothing, inter- or
+	// intra-node.
+	n.Transfer(0, 1, 100, sim.NewSignal())
+	n.Transfer(2, 2, 50, sim.NewSignal())
+	e.Run()
+	if n.Messages() != 0 || n.BytesMoved() != 0 {
+		t.Fatalf("never-ready transfers counted: messages=%d bytes=%d, want 0/0",
+			n.Messages(), n.BytesMoved())
+	}
+
+	// A run truncated before the ready fires must not count the
+	// pending transfer; resuming past the fire time must.
+	late := sim.NewSignal()
+	e.Schedule(1000, func() { late.Fire(e) })
+	n.Transfer(0, 1, 300, late)
+	gated := sim.NewSignal()
+	e.Schedule(2000, func() { gated.Fire(e) })
+	n.Transfer(1, 1, 70, gated) // intra-node, also gated
+	e.RunUntil(500)
+	if n.Messages() != 0 || n.BytesMoved() != 0 {
+		t.Fatalf("truncated run counted pending transfers: messages=%d bytes=%d",
+			n.Messages(), n.BytesMoved())
+	}
+	e.RunUntil(1500)
+	if n.Messages() != 1 || n.BytesMoved() != 300 {
+		t.Fatalf("after first fire: messages=%d bytes=%d, want 1/300",
+			n.Messages(), n.BytesMoved())
+	}
+	e.Run()
+	if n.Messages() != 2 || n.BytesMoved() != 370 {
+		t.Fatalf("after full run: messages=%d bytes=%d, want 2/370",
+			n.Messages(), n.BytesMoved())
+	}
+}
+
 // Property: transfer time is monotonically non-decreasing in message
 // size for a quiet network.
 func TestTransferMonotoneProperty(t *testing.T) {

@@ -14,12 +14,19 @@ import (
 // The copies go through the GPUs' DMA engines, so they contend with the
 // application's own transfers — the effect that makes host staging
 // expensive in the paper's Charm-H and MPI-H variants.
+//
+// Staging streams come from the devices' acquire pools rather than
+// being created per message: an idle pooled stream is behaviorally
+// identical to a fresh one (empty queue, same gating via the ready/
+// arrived signals), so reuse preserves the transfer timeline while
+// keeping the per-message hot path allocation-free — every MPI-H halo
+// message lands here via mpi.World.start.
 func (n *Network) StagedTransfer(srcDev, dstDev *gpu.Device, src, dst int, bytes int64, ready *sim.Signal) *sim.Signal {
-	srcStream := srcDev.NewStream("stage/d2h", gpu.PriorityHigh)
+	srcStream := srcDev.AcquireStream("stage/d2h", gpu.PriorityHigh)
 	srcStream.WaitSignal(ready)
 	d2hDone := srcStream.Copy(gpu.D2H, bytes)
 	arrived := n.Transfer(src, dst, bytes, d2hDone)
-	dstStream := dstDev.NewStream("stage/h2d", gpu.PriorityHigh)
+	dstStream := dstDev.AcquireStream("stage/h2d", gpu.PriorityHigh)
 	dstStream.WaitSignal(arrived)
 	return dstStream.Copy(gpu.H2D, bytes)
 }
@@ -38,9 +45,11 @@ func (n *Network) PipelinedStagedTransfer(srcDev, dstDev *gpu.Device, src, dst i
 	if bytes <= chunk {
 		return n.StagedTransfer(srcDev, dstDev, src, dst, bytes, ready)
 	}
-	srcStream := srcDev.NewStream("pipe/d2h", gpu.PriorityHigh)
-	dstStream := dstDev.NewStream("pipe/h2d", gpu.PriorityHigh)
+	// The src stream gets its gate op before the dst acquire so the two
+	// acquires can never return the same (still idle) stream.
+	srcStream := srcDev.AcquireStream("pipe/d2h", gpu.PriorityHigh)
 	srcStream.WaitSignal(ready)
+	dstStream := dstDev.AcquireStream("pipe/h2d", gpu.PriorityHigh)
 
 	done := sim.NewSignal()
 	remaining := bytes

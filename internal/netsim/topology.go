@@ -1,0 +1,95 @@
+package netsim
+
+import "fmt"
+
+// Topology models the interconnect's switch geometry: how many switch
+// hops separate two nodes, and which nodes share a switch group — the
+// granularity at which the detailed fabric (EnableFabric) attaches its
+// shared links. Transfers within one group ride only the endpoint NICs;
+// transfers between groups additionally reserve the source group's
+// egress link and the destination group's ingress link, which is where
+// taper-induced contention appears.
+//
+// Two geometries are built in: the two-level fat tree the paper's
+// Summit model always used, and a dragonfly (group-local vs. global
+// links) for the Slingshot-class machines. Both group nodes in blocks
+// of Config.PodSize.
+type Topology interface {
+	// Name is the registry key ("fattree", "dragonfly").
+	Name() string
+	// Hops returns the switch hop count between two nodes (0 within a
+	// node).
+	Hops(a, b int) int
+	// Group returns the switch group of a node: the leaf pod of a fat
+	// tree, the router group of a dragonfly.
+	Group(node int) int
+
+	// groupLabel prefixes fabric link names ("pod" / "grp").
+	groupLabel() string
+}
+
+// Topology registry names. Config.Topology selects one; empty means
+// TopoFatTree, which reproduces the pre-topology hop model exactly.
+const (
+	TopoFatTree   = "fattree"
+	TopoDragonfly = "dragonfly"
+)
+
+// TopologyByName resolves a topology name with the given group size
+// (nodes per leaf pod / router group). Empty selects the fat tree.
+func TopologyByName(name string, groupSize int) (Topology, error) {
+	if groupSize <= 0 {
+		return nil, fmt.Errorf("netsim: topology needs a positive group size, got %d", groupSize)
+	}
+	switch name {
+	case "", TopoFatTree:
+		return fatTree{groupSize: groupSize}, nil
+	case TopoDragonfly:
+		return dragonfly{groupSize: groupSize}, nil
+	default:
+		return nil, fmt.Errorf("netsim: unknown topology %q (have: %s, %s)",
+			name, TopoFatTree, TopoDragonfly)
+	}
+}
+
+// fatTree is the two-level fat tree: nodes under a leaf switch (pod),
+// leaves under a spine layer. 2 hops within a pod (node-leaf-node),
+// 4 across pods (node-leaf-spine-leaf-node).
+type fatTree struct{ groupSize int }
+
+func (t fatTree) Name() string       { return TopoFatTree }
+func (t fatTree) groupLabel() string { return "pod" }
+func (t fatTree) Group(node int) int { return node / t.groupSize }
+
+func (t fatTree) Hops(a, b int) int {
+	switch {
+	case a == b:
+		return 0
+	case t.Group(a) == t.Group(b):
+		return 2
+	default:
+		return 4
+	}
+}
+
+// dragonfly is a minimal-route dragonfly: all-to-all router links
+// within a group, one global-link hop between groups. 2 hops within a
+// group (node-router-node), 3 on the minimal cross-group route
+// (node-router-global-router-node adds one switch traversal over the
+// in-group path).
+type dragonfly struct{ groupSize int }
+
+func (t dragonfly) Name() string       { return TopoDragonfly }
+func (t dragonfly) groupLabel() string { return "grp" }
+func (t dragonfly) Group(node int) int { return node / t.groupSize }
+
+func (t dragonfly) Hops(a, b int) int {
+	switch {
+	case a == b:
+		return 0
+	case t.Group(a) == t.Group(b):
+		return 2
+	default:
+		return 3
+	}
+}

@@ -71,7 +71,9 @@ func (pp *Pipe) TransferAfter(ready *Signal, bytes int64) *Signal {
 // updating the busy-until bookkeeping, and returns the occupancy window.
 // It is a synchronous primitive for callers that compose multi-stage
 // transfers (e.g. cut-through network paths); most callers should use
-// Transfer instead. earliest must not be in the past.
+// Transfer instead. An earliest in the past is clamped to Now(): a
+// reservation can never backdate occupancy, so a stage computed from a
+// stale upstream start time still books forward-looking time only.
 func (pp *Pipe) Reserve(earliest Time, bytes int64) (start, end Time) {
 	if earliest < pp.eng.Now() {
 		earliest = pp.eng.Now()

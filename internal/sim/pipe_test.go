@@ -93,6 +93,33 @@ func TestPipeSerializationProperty(t *testing.T) {
 	}
 }
 
+// TestPipeReserveClampsPastEarliest pins the Reserve contract: an
+// earliest in the past is clamped to Now() rather than backdating the
+// occupancy window (or panicking) — multi-stage cut-through callers
+// may compute stage starts from upstream windows that have already
+// elapsed.
+func TestPipeReserveClampsPastEarliest(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e, "link", 1e9, 0)
+	e.Schedule(500, func() {
+		start, end := p.Reserve(100, 200) // earliest 100 is 400ns in the past
+		if start != 500 {
+			t.Errorf("Reserve clamped start to %v, want Now()=500", start)
+		}
+		if end != 700 {
+			t.Errorf("Reserve end = %v, want 700", end)
+		}
+	})
+	e.Run()
+	// A second reservation still queues behind the clamped window.
+	e.Schedule(0, func() {
+		if start, _ := p.Reserve(0, 100); start != 700 {
+			t.Errorf("follow-up Reserve start = %v, want 700 (behind the clamped window)", start)
+		}
+	})
+	e.Run()
+}
+
 func TestPipeZeroBandwidthPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

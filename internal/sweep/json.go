@@ -96,6 +96,12 @@ type ReportRun struct {
 	Meta   string  `json:"meta,omitempty"`
 	Jitter float64 `json:"jitter,omitempty"`
 	Error  string  `json:"error,omitempty"`
+
+	// MaxLinkUtil and MeanLinkUtil summarize the run's fabric-link
+	// congestion (bench.Point): where the run was network-bound.
+	// Absent for runs on NIC-only machines and in pre-fabric documents.
+	MaxLinkUtil  float64 `json:"max_link_util,omitempty"`
+	MeanLinkUtil float64 `json:"mean_link_util,omitempty"`
 }
 
 // keyIfVerified returns the run's fingerprint only when the value is
@@ -148,12 +154,14 @@ func (r Result) WriteJSON(w io.Writer) error {
 				// stamping them with the current fingerprint would make
 				// the next resume treat them as exact and write the
 				// unverified numbers through into the run store.
-				Key:    keyIfVerified(run),
-				Cached: run.Source != SourceSim,
-				Source: run.Source.String(),
-				Value:  run.Point.Value,
-				Meta:   run.Point.Meta,
-				Jitter: run.Spec.Jitter,
+				Key:          keyIfVerified(run),
+				Cached:       run.Source != SourceSim,
+				Source:       run.Source.String(),
+				Value:        run.Point.Value,
+				Meta:         run.Point.Meta,
+				Jitter:       run.Spec.Jitter,
+				MaxLinkUtil:  run.Point.MaxLinkUtil,
+				MeanLinkUtil: run.Point.MeanLinkUtil,
 			})
 		}
 		rep.Figures = append(rep.Figures, jf)

@@ -85,8 +85,12 @@ func NewPrior(rep *Report) *Prior {
 				pr.machine = "summit"
 			}
 			if run.Key != "" {
-				// v3: the run itself carries its value.
-				pr.pt = bench.Point{Nodes: run.X, Value: run.Value, Meta: run.Meta}
+				// v3: the run itself carries its value (and, for fabric
+				// machines, its congestion summary).
+				pr.pt = bench.Point{
+					Nodes: run.X, Value: run.Value, Meta: run.Meta,
+					MaxLinkUtil: run.MaxLinkUtil, MeanLinkUtil: run.MeanLinkUtil,
+				}
 				p.byKey[run.Key] = pr
 				continue
 			}

@@ -51,9 +51,12 @@ type Entry struct {
 	Seed     uint64  `json:"seed"`
 	Jitter   float64 `json:"jitter,omitempty"`
 
-	// The cached result.
-	Value float64 `json:"value"`
-	Meta  string  `json:"meta,omitempty"`
+	// The cached result, including the run's fabric-link congestion
+	// summary (zero/absent on NIC-only machines).
+	Value        float64 `json:"value"`
+	Meta         string  `json:"meta,omitempty"`
+	MaxLinkUtil  float64 `json:"max_link_util,omitempty"`
+	MeanLinkUtil float64 `json:"mean_link_util,omitempty"`
 
 	// WallNS is the host cost of the original simulation — what the
 	// hit saved. Metadata only.
@@ -62,7 +65,10 @@ type Entry struct {
 
 // Point reconstructs the figure point the entry caches.
 func (e Entry) Point() bench.Point {
-	return bench.Point{Nodes: e.X, Value: e.Value, Meta: e.Meta}
+	return bench.Point{
+		Nodes: e.X, Value: e.Value, Meta: e.Meta,
+		MaxLinkUtil: e.MaxLinkUtil, MeanLinkUtil: e.MeanLinkUtil,
+	}
 }
 
 // Store is an open cache directory.
@@ -134,22 +140,24 @@ func (s *Store) Get(key string) (Entry, bool, error) {
 // the identical result) simply replaces it.
 func (s *Store) Put(key string, spec bench.RunSpec, pt bench.Point, wallNS int64) error {
 	e := Entry{
-		Schema:   Schema,
-		Key:      key,
-		Figure:   spec.FigID,
-		Scenario: spec.Scenario,
-		App:      spec.AppIdentity(),
-		Machine:  spec.MachineIdentity(),
-		Series:   spec.Series,
-		X:        spec.X,
-		Nodes:    spec.Nodes,
-		Warmup:   spec.Warmup,
-		Iters:    spec.Iters,
-		Seed:     spec.Seed,
-		Jitter:   spec.Jitter,
-		Value:    pt.Value,
-		Meta:     pt.Meta,
-		WallNS:   wallNS,
+		Schema:       Schema,
+		Key:          key,
+		Figure:       spec.FigID,
+		Scenario:     spec.Scenario,
+		App:          spec.AppIdentity(),
+		Machine:      spec.MachineIdentity(),
+		Series:       spec.Series,
+		X:            spec.X,
+		Nodes:        spec.Nodes,
+		Warmup:       spec.Warmup,
+		Iters:        spec.Iters,
+		Seed:         spec.Seed,
+		Jitter:       spec.Jitter,
+		Value:        pt.Value,
+		Meta:         pt.Meta,
+		MaxLinkUtil:  pt.MaxLinkUtil,
+		MeanLinkUtil: pt.MeanLinkUtil,
+		WallNS:       wallNS,
 	}
 	// The cached point's x coordinate must round-trip: Entry.Point
 	// rebuilds it from X, so a spec whose point disagrees with its own

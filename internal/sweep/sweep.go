@@ -264,8 +264,13 @@ func Sweep(ids []string, opt Options) (Result, error) {
 		runs[fig][si] = Run{Spec: spec, Point: pt, Key: key, Source: src, Wall: wall, SimWallNS: simWallNS, Verified: verified}
 		if opt.Progress != nil {
 			tag := ""
+			if pt.MaxLinkUtil > 0 {
+				// Congestion summary: the run's peak fabric-link
+				// utilization, flagging network-bound points.
+				tag = fmt.Sprintf(" net=%.0f%%", 100*pt.MaxLinkUtil)
+			}
 			if src != SourceSim {
-				tag = " [" + src.String() + "]"
+				tag += " [" + src.String() + "]"
 			}
 			mu.Lock()
 			done++
@@ -311,7 +316,7 @@ func (r Result) Provenance() string {
 // information the gat-sweep-v3 JSON embeds per run, shaped for humans.
 func (r Result) WriteExplain(w io.Writer) {
 	fmt.Fprintf(w, "# %s\n", r.Provenance())
-	fmt.Fprintf(w, "%-28s %-6s %-32s %s\n", "RUN", "SOURCE", "KEY", "WALL")
+	fmt.Fprintf(w, "%-28s %-6s %-32s %-8s %s\n", "RUN", "SOURCE", "KEY", "NET", "WALL")
 	for _, f := range r.Figures {
 		for _, run := range f.Runs {
 			// Same rule as the JSON writer: a printed key asserts the
@@ -321,8 +326,14 @@ func (r Result) WriteExplain(w io.Writer) {
 			if !run.Verified {
 				key = "- (metadata match)"
 			}
-			fmt.Fprintf(w, "%-28s %-6s %-32s %v\n",
-				run.Spec.Name(), run.Source, key, run.Wall.Round(time.Millisecond))
+			// NET is the run's peak fabric-link utilization: where the
+			// sweep was network-bound ("-" on NIC-only machines).
+			net := "-"
+			if run.Point.MaxLinkUtil > 0 {
+				net = fmt.Sprintf("%.0f%%", 100*run.Point.MaxLinkUtil)
+			}
+			fmt.Fprintf(w, "%-28s %-6s %-32s %-8s %v\n",
+				run.Spec.Name(), run.Source, key, net, run.Wall.Round(time.Millisecond))
 		}
 	}
 }

@@ -6,7 +6,7 @@ GO ?= go
 # points this at a workspace directory and uploads it as an artifact.
 SMOKE_OUT ?= /tmp
 
-.PHONY: all build test vet fmt-check check sweep-smoke scenario-smoke claims-smoke bench-queue bench bench-check
+.PHONY: all build test vet fmt-check lint check sweep-smoke scenario-smoke claims-smoke bench-queue bench bench-check
 
 all: check
 
@@ -25,6 +25,16 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# gatvet: the repo's own go/analysis suite (internal/analysis) that
+# machine-enforces the determinism and hot-path contracts — detmap,
+# wallclock, seedrand, hotpath, gatdir. Exit 1 means unannotated
+# findings; fix the site or add a reasoned //gat: annotation (see
+# README "Static analysis & determinism contracts").
+lint:
+	@$(GO) build -o /tmp/gat-gatvet ./cmd/gatvet
+	@/tmp/gat-gatvet ./...
+	@echo "lint: gatvet clean"
 
 # A fast end-to-end sweep, three ways byte-identical: parallel vs the
 # serial reference path, and a warm content-addressed cache vs the
@@ -110,4 +120,4 @@ bench-check:
 
 # claims-smoke is not part of check: CI runs it as its own job, and
 # doubling it into the matrix legs would just re-run identical work.
-check: build vet fmt-check test sweep-smoke scenario-smoke
+check: build vet fmt-check lint test sweep-smoke scenario-smoke

@@ -134,9 +134,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
 		os.Exit(2)
 	}
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	agg := make(map[string]Result, len(samples))
-	for name, rs := range samples {
-		agg[name] = median(rs)
+	for _, name := range names {
+		agg[name] = median(samples[name])
 	}
 
 	if *check != "" {

@@ -1,0 +1,87 @@
+// Command gatvet runs the project's determinism and hot-path
+// analyzers (internal/analysis/suite) over the named packages and
+// fails on any finding. It is the machine enforcement of the contracts
+// the byte-identical sweep goldens and the content-addressed run cache
+// depend on:
+//
+//	detmap     no map-iteration order in deterministic/output code
+//	wallclock  no host clock inside engine packages
+//	seedrand   no process-global math/rand source
+//	hotpath    //gat:hotpath functions stay allocation-free (proxies)
+//	gatdir     the //gat: annotation vocabulary itself is well-formed
+//
+// Usage:
+//
+//	gatvet [-list] [packages]
+//
+// With no packages, ./... is checked. Exit status: 0 clean, 1 on
+// findings, 2 on load/usage errors — mirroring go vet so `make lint`
+// and CI gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gat/internal/analysis"
+	"gat/internal/analysis/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and their package scopes, then exit")
+	flag.Parse()
+
+	analyzers := suite.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			if len(a.Scope) > 0 {
+				fmt.Printf("%-10s scope: %v\n", "", a.Scope)
+			}
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gatvet:", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			ds, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gatvet:", err)
+				os.Exit(2)
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	analysis.SortDiagnostics(diags)
+
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gatvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,135 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework: the subset of golang.org/x/tools/go/analysis that the
+// gatvet suite needs, rebuilt on the standard library so the linter
+// carries no module requirements beyond the Go toolchain itself.
+//
+// The shape mirrors x/tools deliberately — an Analyzer owns a Run
+// function over a Pass carrying the package's syntax and types — so the
+// suite can migrate to the real framework by swapping imports if the
+// dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, e.g. "detmap".
+	Name string
+	// Doc is the one-paragraph description shown by `gatvet -list`.
+	Doc string
+	// Scope lists the import-path patterns the suite driver applies
+	// this analyzer to: exact paths ("gat/internal/sim") or prefix
+	// patterns ("gat/cmd/..."). An empty scope means every package.
+	// Scope is driver policy, not analyzer logic: Run sees only the
+	// packages the driver selected, and tests may bypass the scope.
+	Scope []string
+	// Run performs the check on one package and reports findings
+	// through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether pkgPath falls inside the analyzer's scope.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	return MatchPath(a.Scope, pkgPath)
+}
+
+// MatchPath reports whether path matches any pattern: an exact import
+// path, or a "prefix/..." wildcard (which also matches the prefix
+// itself, mirroring the go tool's package-pattern semantics).
+func MatchPath(patterns []string, path string) bool {
+	for _, pat := range patterns {
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if path == prefix || strings.HasPrefix(path, prefix+"/") {
+				return true
+			}
+			continue
+		}
+		if path == pat {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional
+// file:line:col: [analyzer] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// RunAnalyzer applies a to pkg and returns the findings in source
+// order.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer
+// name, so gatvet output is byte-stable run to run.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,141 @@
+// Package analysistest runs one analyzer over a testdata directory and
+// checks its findings against `// want` expectations embedded in the
+// sources — the same convention as golang.org/x/tools'
+// go/analysis/analysistest, rebuilt over the local framework.
+//
+// Each line that should produce findings carries a trailing comment:
+//
+//	for k := range m { // want `range over map`
+//
+// with one double- or back-quoted regular expression per expected
+// finding. When the finding lands on a line that is itself a comment
+// (a malformed //gat: directive, say), the expectation cannot share
+// the line; `// want-1` / `// want+2` anchor it N lines away instead.
+//
+// The test fails on unexpected findings, on unmatched expectations,
+// and on analyzer errors — so every testdata file proves both
+// directions: the analyzer fires where it must and stays quiet where
+// it must.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gat/internal/analysis"
+)
+
+// wantRe extracts the quoted patterns of one want comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// wantHead matches the want keyword with its optional line offset.
+var wantHead = regexp.MustCompile(`^want([+-]\d+)? `)
+
+// expectation is one `// want` pattern awaiting a finding.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads dir's Go files as one package, applies a, and enforces the
+// `// want` expectations. It returns the findings for additional
+// assertions.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no testdata in %s: %v", dir, err)
+	}
+	sort.Strings(matches)
+	pkg, err := analysis.LoadFiles("gatvet.test/"+filepath.Base(dir), matches...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	diags, err := analysis.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	expects := expectations(t, pkg)
+	for _, d := range diags {
+		found := false
+		for _, e := range expects {
+			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected finding: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding matching %s, got none", filepath.Base(e.file), e.line, e.raw)
+		}
+	}
+	return diags
+}
+
+// expectations parses every `// want` comment in the package.
+func expectations(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				out = append(out, parseWant(t, pkg, c)...)
+			}
+		}
+	}
+	return out
+}
+
+func parseWant(t *testing.T, pkg *analysis.Package, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	head := wantHead.FindStringSubmatch(text)
+	if head == nil {
+		return nil
+	}
+	rest := text[len(head[0]):]
+	offset := 0
+	if head[1] != "" {
+		offset, _ = strconv.Atoi(head[1])
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	pos.Line += offset
+	var out []*expectation
+	for _, q := range wantRe.FindAllString(rest, -1) {
+		pat := strings.Trim(q, "`")
+		if strings.HasPrefix(q, `"`) {
+			var err error
+			if pat, err = strconv.Unquote(q); err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: q})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s:%d: want comment with no quoted patterns", pos.Filename, pos.Line)
+	}
+	return out
+}

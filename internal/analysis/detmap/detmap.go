@@ -1,0 +1,313 @@
+// Package detmap implements the gatvet analyzer that flags `range`
+// loops over Go maps in deterministic packages. Map iteration order is
+// randomized per run, so any map-order-dependent effect — event
+// scheduling, rendered tables, JSON field values built by
+// concatenation — breaks the byte-identical-sweep contract the golden
+// tests and the content-addressed run cache both rest on.
+//
+// Two shapes are recognized as safe and never flagged:
+//
+//   - the sorted-keys idiom: the loop body only appends to slices that
+//     a later sort call in the same function orders (collect, sort,
+//     then iterate the slice);
+//   - commutative map-to-map accumulation: the loop body only assigns
+//     into other maps, where write order cannot be observed.
+//
+// Anything else needs a line-scoped //gat:nondet-ok <reason>.
+package detmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gat/internal/analysis"
+	"gat/internal/analysis/gatfact"
+)
+
+// Analyzer flags iteration-order-dependent map ranges.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc: "flags `range` over a map unless the loop is a recognized sorted-keys " +
+		"or map-to-map accumulation idiom, or carries //gat:nondet-ok <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		dirs := gatfact.Parse(pass.Fset, file)
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if gatfact.Suppressed(dirs, gatfact.NondetOK, pass.Fset, rng.Pos()) {
+				return
+			}
+			if sortedIdiom(pass, rng, enclosingFunc(stack)) {
+				return
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s depends on iteration order; collect and sort the keys, or annotate //gat:nondet-ok <reason>",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+		})
+	}
+	return nil
+}
+
+// walkStack traverses root calling f with each node and the stack of
+// its ancestors (outermost first, excluding n itself).
+func walkStack(root ast.Node, f func(n ast.Node, stack []ast.Node)) {
+	v := &stackVisitor{f: f}
+	ast.Walk(v, root)
+}
+
+type stackVisitor struct {
+	stack []ast.Node
+	f     func(n ast.Node, stack []ast.Node)
+}
+
+func (v *stackVisitor) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		v.stack = v.stack[:len(v.stack)-1]
+		return nil
+	}
+	v.f(n, v.stack)
+	v.stack = append(v.stack, n)
+	return v
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// on the stack, or nil at package scope.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// sortedIdiom reports whether the map range is a recognized safe
+// shape. Every statement in the body must be an order-independent
+// accumulation (possibly behind ifs); slice collectors must then be
+// ordered by a sort call after the loop.
+func sortedIdiom(pass *analysis.Pass, rng *ast.RangeStmt, encl ast.Node) bool {
+	var collectors []types.Object
+	if !allowedStmts(pass, rng.Body.List, &collectors) {
+		return false
+	}
+	if len(collectors) > 0 && encl == nil {
+		return false
+	}
+	for _, obj := range collectors {
+		if !sortedAfter(pass, encl, rng.End(), obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// allowedStmts reports whether every statement is order-independent:
+// slice collection (sorted later — collectors records what must be
+// sorted), writes into other maps, commutative integer accumulation,
+// loop-local declarations, and ifs/blocks/continues over those. This
+// is a syntactic proxy: a declaration whose initializer hides a
+// side-effecting call can fool it, but any result that escapes the
+// loop must still leave through one of the allowed shapes.
+func allowedStmts(pass *analysis.Pass, list []ast.Stmt, collectors *[]types.Object) bool {
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if !allowedAssign(pass, s, collectors) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			// m2[k]++ or a commutative integer counter.
+			if ix, ok := s.X.(*ast.IndexExpr); ok && isMapIndex(pass, ix) {
+				continue
+			}
+			if !isInteger(pass, s.X) {
+				return false
+			}
+		case *ast.IfStmt:
+			if !allowedIf(pass, s, collectors) {
+				return false
+			}
+		case *ast.BlockStmt:
+			if !allowedStmts(pass, s.List, collectors) {
+				return false
+			}
+		case *ast.BranchStmt:
+			// continue skips a key wherever it falls in the order;
+			// break makes the result depend on which keys came first.
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		case *ast.EmptyStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// allowedIf admits `if` statements whose init is a loop-local
+// declaration (the `if v, ok := other[k]; ok` lookup shape) and whose
+// branches recursively contain only allowed statements.
+func allowedIf(pass *analysis.Pass, s *ast.IfStmt, collectors *[]types.Object) bool {
+	if s.Init != nil {
+		init, ok := s.Init.(*ast.AssignStmt)
+		if !ok || init.Tok != token.DEFINE {
+			return false
+		}
+	}
+	if !allowedStmts(pass, s.Body.List, collectors) {
+		return false
+	}
+	switch e := s.Else.(type) {
+	case nil:
+		return true
+	case *ast.BlockStmt:
+		return allowedStmts(pass, e.List, collectors)
+	case *ast.IfStmt:
+		return allowedIf(pass, e, collectors)
+	default:
+		return false
+	}
+}
+
+// allowedAssign classifies one assignment inside the loop body.
+func allowedAssign(pass *analysis.Pass, s *ast.AssignStmt, collectors *[]types.Object) bool {
+	if obj := appendCollector(pass, s); obj != nil {
+		*collectors = append(*collectors, obj)
+		return true
+	}
+	if isMapIndexWrite(pass, s) {
+		return true
+	}
+	switch s.Tok {
+	case token.DEFINE:
+		// Loop-local state; anything escaping must still pass through
+		// an allowed statement.
+		return true
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative-and-associative only over integers: float
+		// addition depends on order through rounding, string +=
+		// concatenates in iteration order.
+		return len(s.Lhs) == 1 && isInteger(pass, s.Lhs[0])
+	default:
+		return false
+	}
+}
+
+// isInteger reports whether e has an integer type.
+func isInteger(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// appendCollector matches `s = append(s, ...)` and returns s's object.
+func appendCollector(pass *analysis.Pass, s *ast.AssignStmt) types.Object {
+	if s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[lhs]
+	if obj == nil || obj != pass.TypesInfo.Uses[first] {
+		return nil
+	}
+	return obj
+}
+
+// isMapIndexWrite matches `m[k] = v` (any assignment operator) with a
+// single map-indexed left-hand side.
+func isMapIndexWrite(pass *analysis.Pass, s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 {
+		return false
+	}
+	ix, ok := s.Lhs[0].(*ast.IndexExpr)
+	return ok && isMapIndex(pass, ix)
+}
+
+// isMapIndex reports whether ix indexes a map.
+func isMapIndex(pass *analysis.Pass, ix *ast.IndexExpr) bool {
+	tv, ok := pass.TypesInfo.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// sortedAfter reports whether a call into package sort or slices that
+// references obj appears after pos within the enclosing function.
+func sortedAfter(pass *analysis.Pass, encl ast.Node, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			refs := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					refs = true
+					return false
+				}
+				return true
+			})
+			if refs {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"gat/internal/analysis/analysistest"
+	"gat/internal/analysis/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	diags := analysistest.Run(t, detmap.Analyzer, "testdata")
+	if len(diags) == 0 {
+		t.Fatal("testdata produced no findings; the failing direction is untested")
+	}
+}

@@ -1,0 +1,113 @@
+// Testdata for the detmap analyzer: map ranges that must be flagged,
+// the sorted-keys and commutative-accumulation idioms that must not
+// be, and the line-scoping of //gat:nondet-ok.
+package td
+
+import "sort"
+
+// bareRange leaks iteration order through println.
+func bareRange(m map[string]int) {
+	for k := range m { // want `range over map`
+		println(k)
+	}
+}
+
+// sortedKeys is the canonical safe idiom: collect, sort, iterate.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectNoSort collects but never sorts: order still leaks.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedSlice accepts any sort/slices call referencing the collector.
+func sortedSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// mapToMap accumulates into another map: write order is unobservable.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+// intSum is commutative integer accumulation.
+func intSum(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		n += len(vs)
+	}
+	return n
+}
+
+// floatSum is order-dependent through rounding: flagged.
+func floatSum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `range over map`
+		s += v
+	}
+	return s
+}
+
+// guardedCollect allows if-wrapped collection (the lookup shape).
+func guardedCollect(m, other map[string]int) []string {
+	var keys []string
+	for k := range m {
+		if _, ok := other[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// annotatedAbove is suppressed by a directive on the preceding line.
+func annotatedAbove(m map[string]int) {
+	//gat:nondet-ok testdata: order deliberately unobserved
+	for k := range m {
+		println(k)
+	}
+}
+
+// annotatedTrailing is suppressed by a same-line directive.
+func annotatedTrailing(m map[string]int) {
+	for k := range m { //gat:nondet-ok testdata: order deliberately unobserved
+		println(k)
+	}
+}
+
+// reasonless directives must not suppress: the exemption is invalid
+// (gatdir flags it) and the finding stays.
+func reasonless(m map[string]int) {
+	//gat:nondet-ok
+	for k := range m { // want `range over map`
+		println(k)
+	}
+}
+
+// notSuppressed proves line scoping: the directives earlier in this
+// file cover nothing here.
+func notSuppressed(m map[string]int) {
+	for k := range m { // want `range over map`
+		println(k)
+	}
+}

@@ -1,0 +1,66 @@
+// Package gatdir implements the gatvet analyzer that polices the
+// //gat: annotation vocabulary itself. Suppressions are load-bearing —
+// a typoed //gat:nondetok or a reason-less exemption silently weakens
+// the determinism gate — so malformed directives are findings, not
+// no-ops:
+//
+//   - unknown //gat: kinds (typos, retired vocabulary);
+//   - nondet-ok / alloc-ok without the mandatory reason;
+//   - //gat:hotpath outside a function's doc comment, where it
+//     annotates nothing.
+package gatdir
+
+import (
+	"go/ast"
+
+	"gat/internal/analysis"
+	"gat/internal/analysis/gatfact"
+)
+
+// Analyzer validates //gat: directives.
+var Analyzer = &analysis.Analyzer{
+	Name: "gatdir",
+	Doc: "flags malformed //gat: directives: unknown kinds, suppressions missing their " +
+		"mandatory reason, and //gat:hotpath annotations attached to nothing",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		// hotpath directives are only meaningful inside a FuncDecl's
+		// doc comment; collect those ranges first.
+		type span struct{ lo, hi int }
+		var docs []span
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docs = append(docs, span{
+					pass.Fset.Position(fd.Doc.Pos()).Line,
+					pass.Fset.Position(fd.Doc.End()).Line,
+				})
+			}
+		}
+		inDoc := func(line int) bool {
+			for _, s := range docs {
+				if s.lo <= line && line <= s.hi {
+					return true
+				}
+			}
+			return false
+		}
+
+		for _, d := range gatfact.Parse(pass.Fset, file) {
+			if !gatfact.Known(d.Kind) {
+				pass.Reportf(d.Pos, "unknown //gat: directive %q (vocabulary: nondet-ok, hotpath, alloc-ok)", d.Kind)
+				continue
+			}
+			if gatfact.NeedsReason(d.Kind) && d.Reason == "" {
+				pass.Reportf(d.Pos, "//gat:%s needs a reason: //gat:%s <why this exemption is sound>", d.Kind, d.Kind)
+				continue
+			}
+			if d.Kind == gatfact.HotPath && !inDoc(d.Line) {
+				pass.Reportf(d.Pos, "//gat:hotpath must appear in a function's doc comment; here it annotates nothing")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package gatdir_test
+
+import (
+	"testing"
+
+	"gat/internal/analysis/analysistest"
+	"gat/internal/analysis/gatdir"
+)
+
+func TestGatdir(t *testing.T) {
+	diags := analysistest.Run(t, gatdir.Analyzer, "testdata")
+	if len(diags) == 0 {
+		t.Fatal("testdata produced no findings; the failing direction is untested")
+	}
+}

@@ -1,0 +1,38 @@
+// Testdata for the gatdir analyzer: the //gat: vocabulary itself is
+// policed — unknown kinds, reason-less suppressions, and hotpath
+// annotations that attach to nothing are findings. Expectations use
+// the want-N offset form because the findings land on comment lines.
+package td
+
+import "sort"
+
+//gat:frobnicate the knob
+// want-1 `unknown //gat: directive "frobnicate"`
+
+//gat:nondet-ok
+// want-1 `//gat:nondet-ok needs a reason`
+
+//gat:alloc-ok
+// want-1 `//gat:alloc-ok needs a reason`
+
+// A hotpath annotation on a non-function declaration guards nothing.
+
+// want+2 `must appear in a function's doc comment`
+//
+//gat:hotpath
+var dangling = 1
+
+// wellFormed carries a correct annotation set: no findings.
+//
+//gat:hotpath
+func wellFormed() int { return dangling }
+
+// suppress demonstrates a valid, reasoned suppression: no findings.
+func suppress(m map[string]int) []string {
+	var keys []string
+	for k := range m { //gat:nondet-ok testdata: sorted on the next line
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

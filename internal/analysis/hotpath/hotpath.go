@@ -1,0 +1,301 @@
+// Package hotpath implements the gatvet analyzer that machine-checks
+// the engine's allocation-free contract. Functions annotated
+// //gat:hotpath — the event-loop core that PR 2 drove to 0 allocs/op —
+// must stay free of the constructs whose cost the benchmarks only
+// probabilistically catch:
+//
+//   - function literals (closure allocation, capture boxing);
+//   - defer (frame bookkeeping on a path measured in nanoseconds);
+//   - map writes (hash+grow machinery; hot-path state lives in slices
+//     and rings by design);
+//   - conversions of concrete values to interface types (boxing — the
+//     allocation behind "interface method costs" the monomorphic heap
+//     and packed events exist to avoid).
+//
+// These are AST-checkable proxies for the 0 allocs/op guarantee: a
+// pass here does not prove zero allocations (append can still grow),
+// but every construct flagged here is an allocation or scheduling cost
+// the hot path must not reacquire silently. Cold branches inside a hot
+// function (panic formatting) carry a line-scoped
+// //gat:alloc-ok <reason>.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gat/internal/analysis"
+	"gat/internal/analysis/gatfact"
+)
+
+// Analyzer enforces the //gat:hotpath contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //gat:hotpath must contain no func literals, defer, " +
+		"map writes, or concrete-to-interface conversions; exempt cold lines with //gat:alloc-ok <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		dirs := gatfact.Parse(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !gatfact.IsHotPath(fd) {
+				continue
+			}
+			c := &checker{pass: pass, dirs: dirs, fn: fd}
+			c.stmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+// checker walks one annotated function. It recurses manually (rather
+// than ast.Inspect) so it can stop at nested function literals: the
+// literal itself is the finding, and its body belongs to a different
+// (colder) execution context.
+type checker struct {
+	pass *analysis.Pass
+	dirs []gatfact.Directive
+	fn   *ast.FuncDecl
+}
+
+func (c *checker) reportf(pos token.Pos, msg string) {
+	if gatfact.Suppressed(c.dirs, gatfact.AllocOK, c.pass.Fset, pos) {
+		return
+	}
+	name := c.fn.Name.Name
+	if c.fn.Recv != nil && len(c.fn.Recv.List) == 1 {
+		if t := c.pass.TypesInfo.Types[c.fn.Recv.List[0].Type]; t.Type != nil {
+			name = types.TypeString(t.Type, types.RelativeTo(c.pass.Pkg)) + "." + name
+		}
+	}
+	c.pass.Reportf(pos, "//gat:hotpath function %s: hot path must not %s", name, msg)
+}
+
+func (c *checker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.DeferStmt:
+		c.reportf(s.Pos(), "defer (per-call scheduling cost)")
+		c.expr(s.Call)
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		if ix, ok := s.X.(*ast.IndexExpr); ok && c.isMapIndex(ix) {
+			c.reportf(s.Pos(), "write to map (hash and grow machinery)")
+		}
+		c.expr(s.X)
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.ReturnStmt:
+		c.returnStmt(s)
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.IfStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmt(s.Body)
+		c.stmt(s.Else)
+	case *ast.ForStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmt(s.Post)
+		c.stmt(s.Body)
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		c.stmt(s.Body)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init)
+		c.expr(s.Tag)
+		c.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init)
+		c.stmt(s.Assign)
+		c.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.expr(e)
+		}
+		c.stmts(s.Body)
+	case *ast.SelectStmt:
+		c.stmt(s.Body)
+	case *ast.CommClause:
+		c.stmt(s.Comm)
+		c.stmts(s.Body)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.GoStmt:
+		c.expr(s.Call)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.valueSpec(vs)
+				}
+			}
+		}
+	}
+}
+
+// assign flags map writes and interface-boxing assignments.
+func (c *checker) assign(s *ast.AssignStmt) {
+	for _, lhs := range s.Lhs {
+		if ix, ok := lhs.(*ast.IndexExpr); ok && c.isMapIndex(ix) {
+			c.reportf(s.Pos(), "write to map (hash and grow machinery)")
+		}
+	}
+	// Plain `=` can box the RHS into an interface-typed LHS; `:=`
+	// infers the type, so no conversion happens there.
+	if s.Tok == token.ASSIGN && len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			lt, ok := c.pass.TypesInfo.Types[lhs]
+			if !ok {
+				continue
+			}
+			c.checkBox(s.Rhs[i], lt.Type)
+		}
+	}
+	for _, rhs := range s.Rhs {
+		c.expr(rhs)
+	}
+	for _, lhs := range s.Lhs {
+		c.expr(lhs)
+	}
+}
+
+// valueSpec flags `var x I = concrete` boxing.
+func (c *checker) valueSpec(vs *ast.ValueSpec) {
+	if vs.Type != nil {
+		if dt, ok := c.pass.TypesInfo.Types[vs.Type]; ok {
+			for _, v := range vs.Values {
+				c.checkBox(v, dt.Type)
+			}
+		}
+	}
+	for _, v := range vs.Values {
+		c.expr(v)
+	}
+}
+
+// returnStmt flags concrete returns through interface result types.
+func (c *checker) returnStmt(s *ast.ReturnStmt) {
+	sig, ok := c.pass.TypesInfo.Defs[c.fn.Name].Type().(*types.Signature)
+	if ok && sig.Results().Len() == len(s.Results) {
+		for i, r := range s.Results {
+			c.checkBox(r, sig.Results().At(i).Type())
+		}
+	}
+	for _, r := range s.Results {
+		c.expr(r)
+	}
+}
+
+// expr walks an expression, flagging func literals, delete() calls and
+// boxing call arguments; recursion stops at func literal boundaries.
+func (c *checker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.reportf(n.Pos(), "allocate a function literal (pre-bind the closure outside the hot path)")
+			return false // the literal's body is a different execution context
+		case *ast.CallExpr:
+			c.call(n)
+			// Children are still walked for nested calls/literals; the
+			// call-specific checks above don't consume them.
+		}
+		return true
+	})
+}
+
+// call flags delete() (a map write) and concrete-to-interface argument
+// boxing.
+func (c *checker) call(call *ast.CallExpr) {
+	// Builtins: delete is a map write; the rest (append, len, panic...)
+	// have no interface parameters to box into — panic's argument is a
+	// deliberate exception, cold by definition... but still an
+	// allocation, so it is NOT exempted here: annotate the line.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "delete" {
+				c.reportf(call.Pos(), "write to map (delete)")
+			}
+			return
+		}
+	}
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x).
+		if len(call.Args) == 1 {
+			c.checkBox(call.Args[0], tv.Type)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.checkBox(arg, pt)
+	}
+}
+
+// checkBox reports when a concrete-typed value is converted to an
+// interface type — the boxing allocation.
+func (c *checker) checkBox(val ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	vt, ok := c.pass.TypesInfo.Types[val]
+	if !ok || vt.Type == nil {
+		return
+	}
+	if types.IsInterface(vt.Type) {
+		return // interface-to-interface carries the existing box
+	}
+	if b, ok := vt.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	c.reportf(val.Pos(), "box "+types.TypeString(vt.Type, types.RelativeTo(c.pass.Pkg))+
+		" into "+types.TypeString(target, types.RelativeTo(c.pass.Pkg))+" (interface conversion allocates)")
+}
+
+// isMapIndex reports whether ix indexes a map.
+func (c *checker) isMapIndex(ix *ast.IndexExpr) bool {
+	tv, ok := c.pass.TypesInfo.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

@@ -1,0 +1,15 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"gat/internal/analysis/analysistest"
+	"gat/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	diags := analysistest.Run(t, hotpath.Analyzer, "testdata")
+	if len(diags) == 0 {
+		t.Fatal("testdata produced no findings; the failing direction is untested")
+	}
+}

@@ -1,0 +1,82 @@
+// Testdata for the hotpath analyzer: the four banned constructs fire
+// only inside //gat:hotpath functions, //gat:alloc-ok exempts single
+// cold lines, and unannotated functions are out of contract.
+package td
+
+type doer interface{ do() }
+
+type impl struct{ n int }
+
+func (impl) do() {}
+
+func sink(any) {}
+
+func cleanup() {}
+
+//gat:hotpath
+func closure(n int) func() int {
+	f := func() int { return n } // want `function literal`
+	return f
+}
+
+//gat:hotpath
+func deferred() {
+	defer cleanup() // want `defer`
+}
+
+//gat:hotpath
+func mapWrites(m map[int]int, k int) {
+	m[k] = 1     // want `write to map`
+	m[k] += 2    // want `write to map`
+	m[k]++       // want `write to map`
+	delete(m, k) // want `write to map`
+}
+
+//gat:hotpath
+func boxing(v impl) doer {
+	var d doer = v // want `box impl into doer`
+	d = v          // want `box impl into doer`
+	sinkDoer(d)
+	sink(v)    // want `box impl into any`
+	_ = any(v) // want `box impl into any`
+	return v   // want `box impl into doer`
+}
+
+//gat:hotpath
+func noBoxNeeded(d doer, v impl) doer {
+	sinkDoer(d) // interface-to-interface: the box already exists
+	sinkImpl(v) // concrete-to-concrete: no conversion
+	var x doer  // declaration without value: nothing boxed
+	x = d       // interface into interface
+	return x
+}
+
+func sinkDoer(doer) {}
+
+func sinkImpl(impl) {}
+
+//gat:hotpath
+func clean(xs []int, ys []impl) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	ys = append(ys, impl{n: s}) // append of concrete values: fine
+	_ = ys
+	return s
+}
+
+//gat:hotpath
+func exempted(m map[int]int) {
+	//gat:alloc-ok testdata: cold path, demonstrating the exemption
+	m[0] = 1
+	m[1] = 2 // want `write to map`
+}
+
+// unannotated uses every banned construct: out of contract, silent.
+func unannotated(m map[int]int, v impl) {
+	defer cleanup()
+	m[0] = 1
+	_ = func() {}
+	sink(v)
+}

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package loading. The driver needs every target package parsed and
+// type-checked, which in turn needs types for the whole import closure.
+// Instead of type-checking the standard library from source (slow,
+// fragile) or depending on golang.org/x/tools/go/packages (unavailable
+// offline), the loader asks the toolchain to do the heavy lifting:
+//
+//	go list -deps -export -json <patterns>
+//
+// compiles every dependency into the build cache and reports, in
+// dependency order, each package's source files and its export-data
+// file. Standard-library (and any other dep-only) packages are imported
+// from export data via go/importer; only the named target packages are
+// parsed and type-checked from source, which is exactly the set the
+// analyzers need syntax for.
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Load lists patterns (go package patterns, e.g. "./...") relative to
+// dir, type-checks the named packages from source with their
+// dependencies imported from export data, and returns them sorted by
+// import path.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	ld := newDepLoader(fset, listed)
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		pkg, err := ld.checkFromSource(lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// LoadFiles parses the given Go files as one package and type-checks
+// them, resolving their imports through the toolchain the same way Load
+// does. It exists for analysistest, whose testdata directories are
+// invisible to go list.
+func LoadFiles(importPath string, filenames ...string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve the testdata package's imports via go list, run from the
+	// file directory so module-internal imports would resolve too.
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p != "unsafe" && !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	sort.Strings(imports)
+
+	var listed []*listedPkg
+	if len(imports) > 0 {
+		dir := filepath.Dir(filenames[0])
+		var err error
+		listed, err = goList(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ld := newDepLoader(fset, listed)
+	return ld.check(importPath, filepath.Dir(filenames[0]), files)
+}
+
+// goList runs `go list -deps -export -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,Imports,ImportMap,DepOnly,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO off: every dependency then has a pure-Go build, so export
+	// data exists without a C toolchain.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	var listed []*listedPkg
+	dec := json.NewDecoder(out)
+	for {
+		lp := new(listedPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s failed: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return listed, nil
+}
+
+// depLoader resolves imports during type-checking: module packages from
+// the source-checked map, everything else from export data.
+type depLoader struct {
+	fset    *token.FileSet
+	exports map[string]string         // import path -> export data file
+	byPath  map[string]*listedPkg     // import path -> listing
+	source  map[string]*types.Package // already source-checked packages
+	gc      types.Importer
+}
+
+func newDepLoader(fset *token.FileSet, listed []*listedPkg) *depLoader {
+	ld := &depLoader{
+		fset:    fset,
+		exports: map[string]string{},
+		byPath:  map[string]*listedPkg{},
+		source:  map[string]*types.Package{},
+	}
+	for _, lp := range listed {
+		ld.byPath[lp.ImportPath] = lp
+		if lp.Export != "" {
+			ld.exports[lp.ImportPath] = lp.Export
+		}
+	}
+	ld.gc = importer.ForCompiler(fset, "gc", ld.lookup)
+	return ld
+}
+
+// lookup feeds export data to the gc importer.
+func (ld *depLoader) lookup(path string) (io.ReadCloser, error) {
+	exp, ok := ld.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(exp)
+}
+
+// Import implements types.Importer for the type-checker, preferring
+// source-checked module packages over export data.
+func (ld *depLoader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.source[path]; ok {
+		return pkg, nil
+	}
+	return ld.gc.Import(path)
+}
+
+// checkFromSource parses and type-checks one listed module package.
+func (ld *depLoader) checkFromSource(lp *listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return ld.check(lp.ImportPath, lp.Dir, files)
+}
+
+// check type-checks parsed files as the package at importPath.
+func (ld *depLoader) check(importPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: ld,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, ld.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v (%d errors)", importPath, typeErrs[0], len(typeErrs))
+	}
+	ld.source[importPath] = tpkg
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       ld.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,69 @@
+// Package seedrand implements the gatvet analyzer that forbids the
+// global math/rand and math/rand/v2 convenience functions. Those draw
+// from a process-global source — seeded differently every run (and, in
+// rand/v2, unseedable) — so a single rand.Float64() in engine code
+// makes sweeps irreproducible. Randomness must flow from an explicitly
+// seeded generator instead: the per-spec *rand.Rand the jitter
+// plumbing threads through, or sim.RNG. Constructing such a generator
+// (rand.New, rand.NewSource, ...) is therefore allowed; using the
+// package-level source is not.
+package seedrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gat/internal/analysis"
+	"gat/internal/analysis/gatfact"
+)
+
+// constructors are the package-level functions that build an
+// explicitly seeded generator rather than touching the global source.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// Analyzer flags global-source randomness.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedrand",
+	Doc: "forbids top-level math/rand and math/rand/v2 functions (the process-global source); " +
+		"randomness must come from an explicitly seeded *rand.Rand or sim.RNG",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		dirs := gatfact.Parse(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on a seeded *rand.Rand are the sanctioned path
+			}
+			if constructors[fn.Name()] {
+				return true
+			}
+			if gatfact.Suppressed(dirs, gatfact.NondetOK, pass.Fset, id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s.%s draws from the process-global source and is irreproducible; use the per-spec seeded generator (or annotate //gat:nondet-ok <reason>)",
+				fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

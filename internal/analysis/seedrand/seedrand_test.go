@@ -1,0 +1,15 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"gat/internal/analysis/analysistest"
+	"gat/internal/analysis/seedrand"
+)
+
+func TestSeedrand(t *testing.T) {
+	diags := analysistest.Run(t, seedrand.Analyzer, "testdata")
+	if len(diags) == 0 {
+		t.Fatal("testdata produced no findings; the failing direction is untested")
+	}
+}

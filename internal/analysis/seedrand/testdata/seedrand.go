@@ -1,0 +1,46 @@
+// Testdata for the seedrand analyzer: global-source draws must be
+// flagged in both math/rand generations, seeded-generator construction
+// and use must not be, and //gat:nondet-ok is line-scoped.
+package td
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// global draws from the process-global, per-run-seeded source.
+func global() float64 {
+	return rand.Float64() // want `math/rand\.Float64`
+}
+
+// globalV2 is unseedable by design: always irreproducible.
+func globalV2() int {
+	return randv2.IntN(10) // want `math/rand/v2\.IntN`
+}
+
+// shuffle mutates through the global source too.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle`
+}
+
+// seeded construction and method draws are the sanctioned path.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// seededV2 likewise for the v2 generator types.
+func seededV2(seed uint64) int {
+	r := randv2.New(randv2.NewPCG(seed, seed))
+	return r.IntN(10)
+}
+
+// annotated sites pass with a reasoned exemption.
+func annotated() int {
+	return rand.Int() //gat:nondet-ok testdata: demonstrating the exemption
+}
+
+// scoping: the exemption above covers nothing here.
+func scoped() int {
+	return rand.Int() // want `math/rand\.Int`
+}

@@ -1,0 +1,25 @@
+// Package suite assembles the gatvet analyzers. The set and each
+// analyzer's package scope are policy: cmd/gatvet runs exactly this
+// suite, and suite tests pin the policy (every engine package must be
+// covered) so a refactor cannot silently drop a contract.
+package suite
+
+import (
+	"gat/internal/analysis"
+	"gat/internal/analysis/detmap"
+	"gat/internal/analysis/gatdir"
+	"gat/internal/analysis/hotpath"
+	"gat/internal/analysis/seedrand"
+	"gat/internal/analysis/wallclock"
+)
+
+// All returns the gatvet analyzers in their reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detmap.Analyzer,
+		wallclock.Analyzer,
+		seedrand.Analyzer,
+		hotpath.Analyzer,
+		gatdir.Analyzer,
+	}
+}

@@ -1,0 +1,87 @@
+package suite
+
+import (
+	"testing"
+
+	"gat/internal/analysis"
+)
+
+// TestSuiteWellFormed pins the structural invariants cmd/gatvet relies
+// on: at least the four contract analyzers plus the vocabulary linter,
+// unique names (findings are keyed "[name]" in output), and a Doc and
+// Run hook on every entry.
+func TestSuiteWellFormed(t *testing.T) {
+	all := All()
+	if len(all) < 5 {
+		t.Fatalf("suite has %d analyzers, want >= 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" {
+			t.Fatal("analyzer with empty name")
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+	for _, want := range []string{"detmap", "wallclock", "seedrand", "hotpath", "gatdir"} {
+		if !seen[want] {
+			t.Errorf("suite is missing the %q analyzer", want)
+		}
+	}
+}
+
+// TestEngineScopeCoverage is the policy test promised in the package
+// doc: every deterministic engine package must be inside the wallclock
+// scope, so moving or renaming a package cannot silently exempt it
+// from the no-wall-clock contract.
+func TestEngineScopeCoverage(t *testing.T) {
+	var wallclock *analysis.Analyzer
+	for _, a := range All() {
+		if a.Name == "wallclock" {
+			wallclock = a
+		}
+	}
+	if wallclock == nil {
+		t.Fatal("wallclock analyzer not in suite")
+	}
+	engine := []string{
+		"gat/internal/sim",
+		"gat/internal/netsim",
+		"gat/internal/gpu",
+		"gat/internal/mpi",
+		"gat/internal/charm",
+		"gat/internal/app",
+		"gat/internal/machine",
+		"gat/internal/bench",
+		"gat/internal/sweep",
+	}
+	for _, pkg := range engine {
+		if !wallclock.AppliesTo(pkg) {
+			t.Errorf("engine package %s is outside the wallclock scope", pkg)
+		}
+	}
+	// Presentation-layer commands may read the clock (progress meters,
+	// wall-time provenance): they must stay out of scope.
+	for _, pkg := range []string{"gat/cmd/sweep", "gat/internal/analysis/detmap"} {
+		if wallclock.AppliesTo(pkg) {
+			t.Errorf("non-engine package %s is inside the wallclock scope", pkg)
+		}
+	}
+	// detmap and seedrand are global: an empty scope means every
+	// package, including tools.
+	for _, name := range []string{"detmap", "seedrand"} {
+		for _, a := range All() {
+			if a.Name == name && !a.AppliesTo("gat/cmd/sweep") {
+				t.Errorf("%s must apply everywhere, but skips gat/cmd/sweep", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Testdata for the wallclock analyzer: host-clock reads and timers
+// must be flagged, pure time arithmetic must not be, and
+// //gat:nondet-ok is line-scoped.
+package td
+
+import "time"
+
+// now reads the host clock.
+func now() time.Time {
+	return time.Now() // want `wall-clock call time.Now`
+}
+
+// since is Now in disguise.
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock call time.Since`
+}
+
+// sleep blocks on the host scheduler.
+func sleep() {
+	time.Sleep(time.Millisecond) // want `wall-clock call time.Sleep`
+}
+
+// timers are wall-clock control flow.
+func timer() *time.Timer {
+	return time.NewTimer(time.Second) // want `wall-clock call time.NewTimer`
+}
+
+// arithmetic on time values never touches the host clock.
+func arithmetic(d time.Duration, t time.Time) time.Time {
+	return t.Add(d.Round(time.Millisecond))
+}
+
+// annotated wall-time sites pass with a reasoned exemption.
+func annotated() time.Time {
+	return time.Now() //gat:nondet-ok testdata: host-side provenance only
+}
+
+// scoping: the exemption above covers nothing here.
+func scoped() time.Time {
+	return time.Now() // want `wall-clock call time.Now`
+}

@@ -199,6 +199,8 @@ func (a readyItem) before(b readyItem) bool {
 
 // push inserts it, holding it aside and shifting displaced parents
 // down — one copy per level instead of a swap.
+//
+//gat:hotpath
 func (h *readyHeap) push(it readyItem) {
 	q := append(*h, it)
 	i := len(q) - 1
@@ -216,6 +218,8 @@ func (h *readyHeap) push(it readyItem) {
 
 // popMin removes and returns the first item to dispatch, zeroing the
 // vacated tail slot so it does not retain the item's done closure.
+//
+//gat:hotpath
 func (h *readyHeap) popMin() readyItem {
 	q := *h
 	min := q[0]

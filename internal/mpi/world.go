@@ -79,6 +79,7 @@ type matchSlot struct {
 	recvs []pendingRecv
 }
 
+//gat:hotpath
 func (w *World) slot(key matchKey) *matchSlot {
 	s := w.match[key]
 	if s == nil {
@@ -89,6 +90,7 @@ func (w *World) slot(key matchKey) *matchSlot {
 		} else {
 			s = &matchSlot{}
 		}
+		//gat:alloc-ok intentional single-lookup tag matching; recycled slots keep the map at steady-state size
 		w.match[key] = s
 	}
 	return s
@@ -96,7 +98,10 @@ func (w *World) slot(key matchKey) *matchSlot {
 
 // release returns an emptied slot to the freelist. Its backing arrays
 // come along, so the next key reuses them.
+//
+//gat:hotpath
 func (w *World) release(key matchKey, s *matchSlot) {
+	//gat:alloc-ok paired with slot's insert; deleting returns the slot to the freelist without growth
 	delete(w.match, key)
 	w.free = append(w.free, s)
 }

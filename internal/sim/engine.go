@@ -126,6 +126,8 @@ func (a event) before(b event) bool {
 // aside and shifts displaced parents down, one copy per level instead
 // of a three-copy swap; in the common no-movement case (a new event
 // later than its parent) nothing is written beyond the append.
+//
+//gat:hotpath
 func (h *eventHeap) pushEv(e event) {
 	q := append(*h, e)
 	i := len(q) - 1
@@ -147,6 +149,8 @@ func (h *eventHeap) pushEv(e event) {
 // is zeroed so the backing array does not retain the moved event's
 // closure; without that, a long sweep keeps every executed event's
 // captured object graph alive until the whole heap is collected.
+//
+//gat:hotpath
 func (h *eventHeap) popMin() event {
 	q := *h
 	min := q[0]
@@ -251,12 +255,17 @@ func (e *Engine) Schedule(d Time, fn func()) {
 // At queues fn to run at absolute time t, which must not be in the past.
 // Zero-delay events (t equal to the current time) take the FIFO lane,
 // skipping the heap entirely while keeping exact (time, seq) order.
+//
+//gat:hotpath
 func (e *Engine) At(t Time, fn func()) { e.push(t, fnToPtr(fn), false) }
 
 // push routes an event — callback or fire-signal form — to the lane or
 // the heap.
+//
+//gat:hotpath
 func (e *Engine) push(t Time, ptr unsafe.Pointer, isSig bool) {
 	if t < e.now {
+		//gat:alloc-ok cold panic path; formatting cost is irrelevant once the engine is wedged
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
 	}
 	e.seq++
@@ -280,6 +289,8 @@ func (e *Engine) Run() Time { return e.RunUntil(maxTime) }
 // share the current timestamp (necessarily scheduled earlier, so with
 // smaller sequence numbers) are interleaved ahead of the lane by a
 // single peek, never a re-sort.
+//
+//gat:hotpath
 func (e *Engine) RunUntil(limit Time) Time {
 	e.stopped = false
 	e.limit = limit

@@ -40,6 +40,8 @@ type eventLane struct {
 }
 
 // push appends ev at the tail, growing the ring if full.
+//
+//gat:hotpath
 func (l *eventLane) push(ev laneEvent) {
 	if l.n == len(l.buf) {
 		l.grow()
@@ -69,6 +71,8 @@ func (l *eventLane) peekSeq() uint64 { return l.buf[l.head].seq }
 // pop removes and returns the oldest entry. The vacated slot is zeroed
 // so the ring does not retain the entry's payload once it has run. The
 // lane must be non-empty.
+//
+//gat:hotpath
 func (l *eventLane) pop() laneEvent {
 	ev := l.buf[l.head]
 	l.buf[l.head] = laneEvent{}

@@ -76,6 +76,8 @@ func (p *Proc) park() {
 // skipping the resume event and both goroutine handoffs is observably
 // identical (the engine is single-threaded: no new events can appear
 // while this proc holds control).
+//
+//gat:hotpath
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0

@@ -44,6 +44,8 @@ func (s *Signal) Fired() bool { return s.fired }
 //
 // Waiters are resumed through their pre-bound resume thunks, so firing
 // a signal allocates nothing regardless of fan-out.
+//
+//gat:hotpath
 func (s *Signal) Fire(e *Engine) {
 	if s.fired {
 		return
@@ -98,6 +100,8 @@ func (s *Signal) Chain(e *Engine, dst *Signal) {
 // allocation-free form of At(t, func() { s.Fire(e) }), the completion
 // idiom of every transfer model (pipes, NICs, staging): the event
 // carries the signal pointer directly instead of a closure.
+//
+//gat:hotpath
 func (e *Engine) FireAt(t Time, s *Signal) { e.push(t, unsafe.Pointer(s), true) }
 
 func (s *Signal) addWaiter(p *Proc) {
@@ -197,6 +201,8 @@ func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 // are one-per-push: a push never wakes more than one waiter, and a
 // woken waiter that finds the queue emptied (an event callback stole
 // the item via TryPop) re-enters the wait list at the tail.
+//
+//gat:hotpath
 func (q *Queue[T]) Push(e *Engine, v T) {
 	q.items = append(q.items, v)
 	if len(q.waiters) > 0 {
@@ -208,6 +214,8 @@ func (q *Queue[T]) Push(e *Engine, v T) {
 }
 
 // TryPop removes and returns the head item if present.
+//
+//gat:hotpath
 func (q *Queue[T]) TryPop() (T, bool) {
 	var zero T
 	if q.head == len(q.items) {

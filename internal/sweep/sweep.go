@@ -212,12 +212,12 @@ func Sweep(ids []string, opt Options) (Result, error) {
 		fmt.Fprintf(opt.Progress, "sweep: %d runs across %d figures on %d workers\n",
 			len(jobs), len(plans), opt.workers())
 	}
-	start := time.Now()
+	start := time.Now() //gat:nondet-ok host-side sweep wall time; never enters figure values
 	Each(len(jobs), opt.workers(), func(j int) {
 		fig, si := jobs[j].fig, jobs[j].spec
 		spec := plans[fig].Specs[si]
 		key := spec.Fingerprint()
-		t0 := time.Now()
+		t0 := time.Now() //gat:nondet-ok per-run wall_ns provenance; never enters figure values
 
 		// Lookup order: the store first — its entries are keyed on the
 		// current fingerprint, so they are always semantics-current —
@@ -243,7 +243,7 @@ func Sweep(ids []string, opt Options) (Result, error) {
 		if src == SourceSim {
 			pt = spec.Execute()
 		}
-		wall := time.Since(t0)
+		wall := time.Since(t0) //gat:nondet-ok per-run wall_ns provenance; never enters figure values
 		if src == SourceSim {
 			simWallNS = wall.Nanoseconds()
 		}
@@ -280,6 +280,7 @@ func Sweep(ids []string, opt Options) (Result, error) {
 		}
 	})
 
+	//gat:nondet-ok host-side sweep wall time; never enters figure values
 	res := Result{Wall: time.Since(start), Workers: opt.workers(), CacheErrors: cacheErrs}
 	for i, p := range plans {
 		points := make([]bench.Point, len(p.Specs))

@@ -3,11 +3,18 @@
 //
 // BenchmarkEventQueue exercises the timed-event queue under the classic
 // "hold" workload (pop the earliest event, schedule a replacement a
-// random increment later, repeat) at several queue depths.
-// BenchmarkEventQueueContainerHeap runs the identical workload against
-// a replica of the queue the engine used before PR 1 — a binary heap
-// behind the container/heap interface, which boxes every event and
-// blocks inlining — so that speedup stays directly visible.
+// random increment later, repeat) at several queue depths and under
+// three arrival distributions: uniform increments (the base case the
+// calendar queue's bucket geometry adapts to), bimodal near/far (half
+// the replacements land ~1ms out, stressing the overflow tier and its
+// drain back into the bucket window), and all-ties (every event in a
+// depth-sized cohort shares one timestamp, so ordering is carried
+// entirely by sequence numbers within a single bucket).
+// BenchmarkEventQueueHeap4 runs the uniform workload against a replica
+// of the 4-ary array heap the engine used before the calendar queue,
+// and BenchmarkEventQueueContainerHeap against the pre-PR-1 binary heap
+// behind the container/heap interface — so the calendar's standing is
+// directly visible against both ancestors at every depth.
 //
 // The remaining benchmarks target the steady-state scheduling paths a
 // simulation actually spends its time in: zero-delay self-rescheduling
@@ -18,7 +25,8 @@
 //
 //	go test -run xxx -bench . -benchmem
 //
-// make bench records their trajectory into BENCH_PR2.json.
+// make bench records their trajectory into BENCH_PR7.json (BENCH_PR2.json
+// is kept in-tree as the PR 2 reference point).
 package gat
 
 import (
@@ -27,6 +35,7 @@ import (
 
 	"gat/internal/jacobi"
 	"gat/internal/machine"
+	"gat/internal/mpi"
 	"gat/internal/sim"
 )
 
@@ -59,6 +68,154 @@ func BenchmarkEventQueue(b *testing.B) {
 			// Each Step pops one event and pushes its replacement.
 			for i := 0; i < b.N; i++ {
 				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkEventQueueBimodal is the hold workload with a near/far
+// mixture: half the replacements land within 1µs, half ~1ms out. The
+// far half stream through the calendar's overflow tier and re-enter the
+// bucket window as the clock advances — the distribution sweeps with
+// long-latency network transfers among dense kernel completions produce.
+func BenchmarkEventQueueBimodal(b *testing.B) {
+	for _, c := range holdDepths {
+		b.Run(c.name, func(b *testing.B) {
+			e := sim.NewEngine()
+			rng := sim.NewRNG(1)
+			var fn func()
+			fn = func() {
+				d := sim.Time(1 + rng.Intn(1000))
+				if rng.Intn(2) == 1 {
+					d += 1_000_000
+				}
+				e.Schedule(d, fn)
+			}
+			for i := 0; i < c.depth; i++ {
+				fn()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkEventQueueTies is the hold workload where every replacement
+// lands exactly one fixed period after the event it replaces, so the
+// whole depth-sized cohort shares a single timestamp and ordering is
+// carried purely by sequence numbers — the worst case for bucket
+// indexing (everything in one bucket) and the best case for the seq
+// tie-break path.
+func BenchmarkEventQueueTies(b *testing.B) {
+	for _, c := range holdDepths {
+		b.Run(c.name, func(b *testing.B) {
+			e := sim.NewEngine()
+			var fn func()
+			fn = func() {
+				e.Schedule(1000, fn)
+			}
+			for i := 0; i < c.depth; i++ {
+				e.Schedule(1000, fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+// hold4Ev / hold4Heap replicate the 4-ary array heap the engine used
+// between PR 1 and the calendar queue: same payload shape, same
+// (at, seq) order, direct array code with no interface boxing. The
+// calendar queue must hold its own against this at every depth — the
+// acceptance bar is calendar ≤ heap at depth16k.
+type hold4Ev struct {
+	at  sim.Time
+	seq uint64
+	fn  func()
+}
+
+func hold4Before(a, b hold4Ev) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+type hold4Heap []hold4Ev
+
+func (h *hold4Heap) push(e hold4Ev) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !hold4Before(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+	*h = q
+}
+
+func (h *hold4Heap) pop() hold4Ev {
+	q := *h
+	min := q[0]
+	n := len(q) - 1
+	tail := q[n]
+	q = q[:n]
+	*h = q
+	if n == 0 {
+		return min
+	}
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if hold4Before(q[j], q[best]) {
+				best = j
+			}
+		}
+		if !hold4Before(q[best], tail) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = tail
+	return min
+}
+
+func BenchmarkEventQueueHeap4(b *testing.B) {
+	for _, c := range holdDepths {
+		b.Run(c.name, func(b *testing.B) {
+			var h hold4Heap
+			rng := sim.NewRNG(1)
+			var now sim.Time
+			seq := uint64(0)
+			fn := func() {}
+			for i := 0; i < c.depth; i++ {
+				seq++
+				h.push(hold4Ev{at: sim.Time(1 + rng.Intn(1000)), seq: seq, fn: fn})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := h.pop()
+				now = ev.at
+				seq++
+				h.push(hold4Ev{at: now + sim.Time(1+rng.Intn(1000)), seq: seq, fn: fn})
 			}
 		})
 	}
@@ -171,16 +328,29 @@ func BenchmarkProcPingPong(b *testing.B) {
 
 // BenchmarkJacobiStep measures one timed Jacobi3D iteration end to end
 // (MPI-D variant, 2 Summit nodes = 12 ranks), the workload every
-// figure sweep is made of. b.N becomes the run's timed iteration
-// count, so setup and warm-up amortize away and ns/op approaches the
-// host cost of simulating one iteration.
+// figure sweep is made of. b.N is spread over runs of jacobiBenchIters
+// iterations on one machine, with the arena records reset between runs
+// — the sweep shape the simulator is built for (one engine per data
+// point, transient records freed wholesale at the run boundary), so
+// record memory stays warm instead of accumulating for the lifetime of
+// the benchmark.
 func BenchmarkJacobiStep(b *testing.B) {
+	const jacobiBenchIters = 128
 	m := machine.MustNew(machine.Summit(2))
-	cfg := jacobi.Config{Global: [3]int{96, 96, 96}, Warmup: 1, Iters: b.N}
+	w := mpi.NewWorld(m, mpi.DefaultOptions())
 	opts := jacobi.MPIOpts{Device: true}
 	b.ReportAllocs()
 	b.ResetTimer()
-	jacobi.RunMPI(m, cfg, opts)
+	for n := b.N; n > 0; n -= jacobiBenchIters {
+		iters := jacobiBenchIters
+		if n < iters {
+			iters = n
+		}
+		cfg := jacobi.Config{Global: [3]int{96, 96, 96}, Warmup: 1, Iters: iters}
+		jacobi.RunMPIWorld(w, cfg, opts)
+		m.ResetTransients()
+		w.Reset()
+	}
 }
 
 func BenchmarkEventQueueContainerHeap(b *testing.B) {

@@ -80,3 +80,38 @@ func unannotated(m map[int]int, v impl) {
 	_ = func() {}
 	sink(v)
 }
+
+// miniArena mirrors the engine's arena allocators: a hot bump-pointer
+// alloc with a cold inline grow branch. make itself is not a banned
+// construct (amortized chunk growth is the arena design), but
+// bookkeeping on the grow branch still needs a line-scoped exemption,
+// and the reset path gets no blanket pass just because it runs at a
+// run boundary.
+type miniArena struct {
+	cur     []int
+	idx     int
+	chunks  map[int]int
+	onReset func()
+}
+
+//gat:hotpath
+func (a *miniArena) alloc() *int {
+	if a.idx == len(a.cur) {
+		a.cur = make([]int, 256) // chunk grow: amortized, not a banned construct
+		a.idx = 0
+		//gat:alloc-ok testdata: one registry write per chunk, amortized over its records
+		a.chunks[len(a.chunks)] = len(a.cur)
+	}
+	p := &a.cur[a.idx]
+	a.idx++
+	return p
+}
+
+//gat:hotpath
+func (a *miniArena) reset() {
+	a.idx = 0
+	a.onReset = func() { a.idx = 0 } // want `function literal`
+	for k := range a.chunks {
+		delete(a.chunks, k) // want `write to map`
+	}
+}

@@ -115,8 +115,17 @@ type Device struct {
 	// re-acquired.
 	streamPool []*Stream
 
+	// ops is the arena all stream operations are carved from; records
+	// live until the device (with its engine) is discarded.
+	ops sim.Arena[op]
+
 	kernelCount uint64
 	copyCount   uint64
+
+	// durCache memoizes KernelTime results (see there); durNext is the
+	// round-robin eviction cursor.
+	durCache [8]durEntry
+	durNext  int
 
 	memCapacity int64
 	memUsed     int64
@@ -161,9 +170,30 @@ func (d *Device) KernelsLaunched() uint64 { return d.kernelCount }
 func (d *Device) CopiesIssued() uint64 { return d.copyCount }
 
 // KernelTime returns the device time of a memory-bound kernel moving the
-// given number of bytes, per the roofline model.
+// given number of bytes, per the roofline model. An iterative workload
+// launches the same few kernel sizes every step, so the float division
+// behind DurationOf is memoized in a small per-device table (exact
+// values: a hit returns the very Time a miss computed earlier).
+//
+//gat:hotpath
 func (d *Device) KernelTime(bytes int64) sim.Time {
-	return sim.DurationOf(bytes, d.cfg.MemBandwidth)
+	for i := range d.durCache {
+		if c := &d.durCache[i]; c.bytes == bytes && c.dur != 0 {
+			return c.dur
+		}
+	}
+	dur := sim.DurationOf(bytes, d.cfg.MemBandwidth)
+	d.durCache[d.durNext] = durEntry{bytes: bytes, dur: dur}
+	d.durNext = (d.durNext + 1) % len(d.durCache)
+	return dur
+}
+
+// durEntry is one memoized KernelTime result. dur == 0 marks an empty
+// slot; a genuinely zero-duration kernel (bytes == 0) recomputes every
+// time, which is harmless.
+type durEntry struct {
+	bytes int64
+	dur   sim.Time
 }
 
 // Stream priorities. Lower values run first when the compute engine
@@ -295,6 +325,23 @@ func (d *Device) copyPipe(dir CopyDir) *sim.Pipe {
 		return d.d2h
 	}
 	return d.h2d
+}
+
+// ResetOps frees all stream-op records at once, keeping chunk capacity
+// warm for the next run. It may only be called at a run boundary: every
+// stream must be drained (no op in flight or queued) and the caller
+// must not use any previously returned op signal — stream completion
+// signals, recorded events — afterwards.
+func (d *Device) ResetOps() {
+	if d.busy || len(d.ready) > 0 {
+		panic("gpu: ResetOps with compute work pending")
+	}
+	for _, s := range d.streamPool {
+		if len(s.ops) > 0 {
+			panic("gpu: ResetOps with stream ops pending")
+		}
+	}
+	d.ops.Reset()
 }
 
 // Utilization returns compute busy time over elapsed time.

@@ -14,28 +14,15 @@ type Stream struct {
 	// op at a time, so a single thunk created at NewStream serves every
 	// op instead of allocating a completion closure per op.
 	completeFn func()
-	// chunk is a block of ops handed out sequentially, amortizing op
-	// allocation to one make per opChunkSize enqueues. Ops are never
-	// recycled — their embedded done signals may outlive completion in
-	// caller hands — so a chunk is garbage-collected as a unit once
-	// every op in it is dropped.
-	chunk    []op
-	chunkIdx int
 }
 
-// opChunkSize is the op-block allocation granularity.
-const opChunkSize = 32
-
-// newOp returns a zeroed op from the stream's current chunk.
-func (s *Stream) newOp() *op {
-	if s.chunkIdx == len(s.chunk) {
-		s.chunk = make([]op, opChunkSize)
-		s.chunkIdx = 0
-	}
-	o := &s.chunk[s.chunkIdx]
-	s.chunkIdx++
-	return o
-}
+// newOp returns a zeroed op from the device's arena. Ops are never
+// recycled individually — their embedded done signals may outlive
+// completion in caller hands — so they live until the device's engine
+// (and with it the arena) is discarded.
+//
+//gat:hotpath
+func (s *Stream) newOp() *op { return s.dev.ops.New() }
 
 // NewStream creates a stream with the given priority (PriorityHigh or
 // PriorityNormal).

@@ -26,8 +26,16 @@ type MPIOpts struct {
 // returns the measured result. One rank per GPU; the global grid is
 // decomposed over all ranks with minimal surface area.
 func RunMPI(m *machine.Machine, cfg Config, opts MPIOpts) Result {
+	return RunMPIWorld(mpi.NewWorld(m, mpi.DefaultOptions()), cfg, opts)
+}
+
+// RunMPIWorld is RunMPI on a caller-provided world, so a benchmark or
+// sweep batch can reuse one world (and its per-message record arenas)
+// across consecutive runs on the same machine. Call World.Reset and
+// Machine.ResetTransients between runs.
+func RunMPIWorld(w *mpi.World, cfg Config, opts MPIOpts) Result {
 	cfg = cfg.DefaultIterations()
-	w := mpi.NewWorld(m, mpi.DefaultOptions())
+	m := w.M
 	d := NewDecomp(cfg.Global, w.Size())
 
 	kind := mpi.Host
@@ -61,6 +69,34 @@ func RunMPI(m *machine.Machine, cfg Config, opts MPIOpts) Result {
 		unpackSigs := make([]*sim.Signal, 0, len(nbrs))
 		reqs := make([]*mpi.Request, 0, 2*len(nbrs))
 
+		// Per-neighbor constants, computed once: the loop below runs
+		// every simulated iteration, and the geometry arithmetic is
+		// identical each time.
+		type nbrPlan struct {
+			peer      int
+			face      int   // send tag offset; Opposite(face) is the recv offset
+			recvOff   int   // Opposite(face), precomputed
+			faceBytes int64 // halo message size
+			packBytes int64 // pack/unpack kernel traffic
+		}
+		plan := make([]nbrPlan, len(nbrs))
+		for i, nb := range nbrs {
+			plan[i] = nbrPlan{
+				peer:      d.Flatten(nb.Idx),
+				face:      nb.Face,
+				recvOff:   Opposite(nb.Face),
+				faceBytes: blk.FaceBytes(nb.Face),
+				packBytes: packKernelBytes(blk.FaceCells(nb.Face / 2)),
+			}
+		}
+		// Update kernel traffic (exterior only under manual overlap).
+		vol := blk.Volume()
+		if opts.Overlap {
+			vol -= blk.InteriorVolume()
+		}
+		updKernelTraffic := updateKernelBytes(vol)
+		interiorTraffic := updateKernelBytes(blk.InteriorVolume())
+
 		for iter := 0; iter < total; iter++ {
 			if iter == cfg.Warmup {
 				r.Barrier(warmEpoch)
@@ -71,14 +107,15 @@ func RunMPI(m *machine.Machine, cfg Config, opts MPIOpts) Result {
 			// Pack halo faces on the high-priority stream.
 			packSigs = packSigs[:0]
 			d2hSigs = d2hSigs[:0]
-			for _, nb := range nbrs {
+			for i := range plan {
+				nb := &plan[i]
 				r.Compute(gcfg.KernelLaunchHost)
-				sig := packS.KernelBytes("pack", packKernelBytes(blk.FaceCells(nb.Face/2)))
+				sig := packS.KernelBytes("pack", nb.packBytes)
 				packSigs = append(packSigs, sig)
 				if !opts.Device {
 					r.Compute(gcfg.CopyLaunchHost)
 					d2hS.WaitSignal(sig)
-					d2hSigs = append(d2hSigs, d2hS.Copy(gpu.D2H, blk.FaceBytes(nb.Face)))
+					d2hSigs = append(d2hSigs, d2hS.Copy(gpu.D2H, nb.faceBytes))
 				}
 			}
 			// The send buffers must be ready before posting sends.
@@ -91,45 +128,41 @@ func RunMPI(m *machine.Machine, cfg Config, opts MPIOpts) Result {
 
 			// Non-blocking halo exchange.
 			reqs = reqs[:0]
-			for _, nb := range nbrs {
-				peer := d.Flatten(nb.Idx)
-				bytes := blk.FaceBytes(nb.Face)
+			for i := range plan {
+				nb := &plan[i]
 				reqs = append(reqs,
-					r.Irecv(peer, iter*NumFaces+Opposite(nb.Face), kind),
-					r.Isend(peer, iter*NumFaces+nb.Face, bytes, kind))
+					r.Irecv(nb.peer, iter*NumFaces+nb.recvOff, kind),
+					r.Isend(nb.peer, iter*NumFaces+nb.face, nb.faceBytes, kind))
 			}
 
 			var interior *sim.Signal
 			if opts.Overlap {
 				r.Compute(gcfg.KernelLaunchHost)
-				interior = updS.KernelBytes("interior", updateKernelBytes(blk.InteriorVolume()))
+				interior = updS.KernelBytes("interior", interiorTraffic)
 			}
 
 			r.Waitall(reqs...)
 
 			// Unpack received halos; host staging needs H2D first.
 			unpackSigs = unpackSigs[:0]
-			for _, nb := range nbrs {
+			for i := range plan {
+				nb := &plan[i]
 				if !opts.Device {
 					r.Compute(gcfg.CopyLaunchHost)
-					h2d := h2dS.Copy(gpu.H2D, blk.FaceBytes(nb.Face))
+					h2d := h2dS.Copy(gpu.H2D, nb.faceBytes)
 					packS.WaitSignal(h2d)
 				}
 				r.Compute(gcfg.KernelLaunchHost)
 				unpackSigs = append(unpackSigs,
-					packS.KernelBytes("unpack", packKernelBytes(blk.FaceCells(nb.Face/2))))
+					packS.KernelBytes("unpack", nb.packBytes))
 			}
 
 			// Update (exterior only under manual overlap).
-			vol := blk.Volume()
-			if opts.Overlap {
-				vol -= blk.InteriorVolume()
-			}
 			r.Compute(gcfg.KernelLaunchHost)
 			for _, s := range unpackSigs {
 				updS.WaitSignal(s)
 			}
-			upd := updS.KernelBytes("update", updateKernelBytes(vol))
+			upd := updS.KernelBytes("update", updKernelTraffic)
 
 			// End-of-iteration device synchronization (sequential MPI
 			// control flow).

@@ -1,6 +1,10 @@
 package mpi
 
-import "gat/internal/sim"
+import (
+	"unsafe"
+
+	"gat/internal/sim"
+)
 
 // Isend posts a non-blocking send of bytes to rank dst with the given
 // tag. kind selects the buffer location; both sides of a match must
@@ -9,9 +13,9 @@ import "gat/internal/sim"
 // sizes Jacobi3D exchanges).
 func (r *Rank) Isend(dst, tag int, bytes int64, kind BufKind) *Request {
 	r.proc.Sleep(r.w.Opt.CallOverhead)
-	req := &Request{}
+	req := r.w.reqs.New()
 	w := r.w
-	key := matchKey{src: r.id, dst: dst, tag: tag}
+	key := newMatchKey(r.id, dst, tag)
 	s := w.slot(key)
 	if len(s.recvs) > 0 {
 		pr := s.recvs[0]
@@ -31,9 +35,9 @@ func (r *Rank) Isend(dst, tag int, bytes int64, kind BufKind) *Request {
 // Irecv posts a non-blocking receive from rank src with the given tag.
 func (r *Rank) Irecv(src, tag int, kind BufKind) *Request {
 	r.proc.Sleep(r.w.Opt.CallOverhead)
-	req := &Request{}
+	req := r.w.reqs.New()
 	w := r.w
-	key := matchKey{src: src, dst: r.id, tag: tag}
+	key := newMatchKey(src, r.id, tag)
 	s := w.slot(key)
 	if len(s.sends) > 0 {
 		ps := s.sends[0]
@@ -50,14 +54,31 @@ func (r *Rank) Irecv(src, tag int, kind BufKind) *Request {
 	return req
 }
 
+// matchDone links a matched pair's completion: when the transfer's
+// arrived signal fires, both request signals fire from one event, in
+// send-then-receive order — two separate completion events would give
+// an interleaving point the real sequence does not have.
+type matchDone struct {
+	sreq, rreq *Request
+}
+
+// matchDoneFire is the ArgFunc completing a matched send/recv pair.
+func matchDoneFire(e *sim.Engine, arg unsafe.Pointer) {
+	md := (*matchDone)(arg)
+	md.sreq.done.Fire(e)
+	md.rreq.done.Fire(e)
+}
+
 // start launches the matched transfer on the path implied by the buffer
 // kinds.
+//
+//gat:hotpath
 func (w *World) start(key matchKey, bytes int64, sendKind, recvKind BufKind, sreq, rreq *Request) {
 	if sendKind != recvKind {
 		panic("mpi: mixed host/device buffer match not supported")
 	}
-	srcNode := w.M.NodeOf(key.src)
-	dstNode := w.M.NodeOf(key.dst)
+	srcNode := w.M.NodeOf(key.src())
+	dstNode := w.M.NodeOf(key.dst())
 	var arrived *sim.Signal
 	switch {
 	case sendKind == Host:
@@ -66,15 +87,14 @@ func (w *World) start(key matchKey, bytes int64, sendKind, recvKind BufKind, sre
 		// Spectrum MPI's large-device-message fallback: chunked
 		// staging through pinned host buffers.
 		arrived = w.M.Net.PipelinedStagedTransfer(
-			w.M.GPUOf(key.src), w.M.GPUOf(key.dst),
+			w.M.GPUOf(key.src()), w.M.GPUOf(key.dst()),
 			srcNode, dstNode, bytes, w.M.Cfg.Net.PipelineChunkSize, sim.FiredSignal())
 	default:
 		arrived = w.M.Net.TransferGPUDirect(srcNode, dstNode, bytes, sim.FiredSignal())
 	}
-	arrived.OnFire(w.M.Eng, func() {
-		sreq.done.Fire(w.M.Eng)
-		rreq.done.Fire(w.M.Eng)
-	})
+	md := w.matchDones.New()
+	md.sreq, md.rreq = sreq, rreq
+	arrived.OnFireArg(w.M.Eng, matchDoneFire, unsafe.Pointer(md))
 }
 
 // Wait blocks until the request completes.
@@ -87,7 +107,9 @@ func (r *Rank) Wait(req *Request) {
 // overhead (MPI_Waitall).
 func (r *Rank) Waitall(reqs ...*Request) {
 	r.proc.Sleep(r.w.Opt.CallOverhead)
+	g := r.proc.NewWaitSet()
 	for _, req := range reqs {
-		r.proc.Wait(&req.done)
+		g.Add(&req.done)
 	}
+	g.Wait()
 }

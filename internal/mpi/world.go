@@ -64,11 +64,33 @@ type World struct {
 	// collEpoch backs NextEpoch. Per-world state: a process-global
 	// counter would be shared by concurrently sweeping runs.
 	collEpoch int
+
+	// reqs and matchDones are the per-message record arenas; records
+	// share the world's engine lifetime (see sim.Arena).
+	reqs       sim.Arena[Request]
+	matchDones sim.Arena[matchDone]
 }
 
-type matchKey struct {
-	src, dst, tag int
+// matchKey packs (src, dst, tag) into one word: posting a message hashes
+// the key once, and hashing a single uint64 is measurably cheaper than
+// hashing a three-int struct on the per-message hot path. Ranks use 16
+// bits and tags 32 — biased by 2^31 so the negative collective tag
+// space fits — enough for any configuration the simulator can build;
+// newMatchKey panics loudly rather than silently colliding if a tag
+// scheme ever outgrows that.
+type matchKey uint64
+
+//gat:hotpath
+func newMatchKey(src, dst, tag int) matchKey {
+	t := uint64(tag) + 1<<31
+	if uint(src)|uint(dst) >= 1<<16 || t >= 1<<32 {
+		panic("mpi: rank or tag exceeds match-key range")
+	}
+	return matchKey(uint64(src)<<48 | uint64(dst)<<32 | t)
 }
+
+func (k matchKey) src() int { return int(k >> 48) }
+func (k matchKey) dst() int { return int(k >> 32 & 0xffff) }
 
 // matchSlot queues unmatched operations for one (src, dst, tag). The
 // queues pop head-first by copy-down, preserving capacity: a matched
@@ -142,6 +164,18 @@ func NewWorld(m *machine.Machine, opt Options) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.ranks) }
+
+// Reset frees every per-message record (requests and match-completion
+// links) the world has allocated, keeping the chunk memory warm for the
+// next Run. Like sim.Engine.ResetArenas it must only be called at a run
+// boundary — every posted operation matched and completed, no Request
+// handle from the finished run used afterwards — which also means the
+// match map is empty again. A world reset this way can host a sequence
+// of runs on one machine with zero steady-state record allocation.
+func (w *World) Reset() {
+	w.reqs.Reset()
+	w.matchDones.Reset()
+}
 
 // Run spawns every rank executing body and runs the simulation to
 // completion, returning the final virtual time.

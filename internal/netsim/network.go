@@ -8,6 +8,7 @@ package netsim
 
 import (
 	"fmt"
+	"unsafe"
 
 	"gat/internal/sim"
 )
@@ -103,6 +104,14 @@ type Network struct {
 
 	messages uint64
 	bytes    int64
+
+	// Arenas for the per-message protocol records. They share the
+	// engine's lifetime: a record is pinned by pending events only until
+	// its message completes, and the whole set is dropped with the
+	// network (see sim.Arena).
+	xferOps  sim.Arena[xferOp]
+	countOps sim.Arena[countOp]
+	gdOps    sim.Arena[gdOp]
 }
 
 // New builds a network connecting nodes nodes. An unknown
@@ -174,6 +183,17 @@ func (n *Network) LinkUtilization() (max, mean float64) {
 	return n.fabric.UtilizationSummary()
 }
 
+// ResetOps frees all protocol records (transfer, accounting and
+// GPUDirect gate ops) at once, keeping chunk capacity warm for the next
+// run. It may only be called at a run boundary: no transfer may be
+// pending and no previously returned arrival signal may be used
+// afterwards. Traffic counters are not reset.
+func (n *Network) ResetOps() {
+	n.xferOps.Reset()
+	n.countOps.Reset()
+	n.gdOps.Reset()
+}
+
 // Hops returns the switch hop count between two nodes under the
 // configured topology: 0 within a node, 2 within a switch group, and
 // the topology's cross-group distance (4 for the fat tree, 3 for the
@@ -199,6 +219,57 @@ func (n *Network) Latency(a, b int) sim.Time {
 // RTT returns the round-trip latency, used for rendezvous handshakes.
 func (n *Network) RTT(a, b int) sim.Time { return 2 * n.Latency(a, b) }
 
+// countOp defers the Messages/BytesMoved accounting of an intra-node
+// transfer until its ready signal fires.
+type countOp struct {
+	n     *Network
+	bytes int64
+}
+
+// countOpFire is the ArgFunc advancing the counters when a deferred
+// intra-node transfer starts.
+func countOpFire(_ *sim.Engine, arg unsafe.Pointer) {
+	op := (*countOp)(arg)
+	op.n.messages++
+	op.n.bytes += op.bytes
+}
+
+// xferOp is one pending inter-node transfer: the route waits in the
+// record until ready fires, then the cut-through reservations are made
+// at fire-time prices (NIC occupancy, fabric contention, jitter draw)
+// and arrived is scheduled.
+type xferOp struct {
+	n        *Network
+	src, dst int
+	bytes    int64
+	arrived  sim.Signal
+}
+
+// xferOpStart is the ArgFunc run when an inter-node transfer's ready
+// signal fires.
+func xferOpStart(_ *sim.Engine, arg unsafe.Pointer) {
+	op := (*xferOp)(arg)
+	n := op.n
+	src, dst, bytes := op.src, op.dst, op.bytes
+	n.messages++
+	n.bytes += bytes
+	txStart, _ := n.nics[src].TX.Reserve(n.eng.Now(), bytes)
+	rxEarliest := txStart + n.Latency(src, dst)
+	var downEnd sim.Time
+	if n.fabric != nil && n.topo.Group(src) != n.topo.Group(dst) {
+		var downStart sim.Time
+		downStart, downEnd = n.fabric.reserve(n, src, dst, bytes, txStart)
+		if e := downStart + n.cfg.LatencyPerHop; e > rxEarliest {
+			rxEarliest = e
+		}
+	}
+	_, rxEnd := n.nics[dst].RX.Reserve(rxEarliest, bytes)
+	if e := downEnd + n.cfg.LatencyPerHop; e > rxEnd {
+		rxEnd = e
+	}
+	n.eng.FireAt(rxEnd, &op.arrived)
+}
+
 // Transfer moves bytes from node src to node dst, starting when ready
 // fires, and returns a signal fired when the data has fully arrived.
 // The path is cut-through: the receive side drains in parallel with
@@ -209,71 +280,75 @@ func (n *Network) RTT(a, b int) sim.Time { return 2 * n.Latency(a, b) }
 // The Messages/BytesMoved counters advance when the transfer starts
 // (ready fires), not at schedule time, so truncated runs and
 // never-fired ready signals do not overstate traffic.
+//
+//gat:hotpath
 func (n *Network) Transfer(src, dst int, bytes int64, ready *sim.Signal) *sim.Signal {
 	n.offered = true
 	if src == dst {
 		if ready.Fired() {
-			// The dominant already-ready path stays allocation-free:
-			// the transfer starts now, so count now.
+			// The dominant already-ready path: the transfer starts now,
+			// so count now.
 			n.messages++
 			n.bytes += bytes
 		} else {
-			ready.OnFire(n.eng, func() {
-				n.messages++
-				n.bytes += bytes
-			})
+			op := n.countOps.New()
+			op.n = n
+			op.bytes = bytes
+			ready.OnFireArg(n.eng, countOpFire, unsafe.Pointer(op))
 		}
 		return n.intra[src].TransferAfter(ready, bytes)
 	}
-	arrived := sim.NewSignal()
-	ready.OnFire(n.eng, func() {
-		n.messages++
-		n.bytes += bytes
-		txStart, _ := n.nics[src].TX.Reserve(n.eng.Now(), bytes)
-		rxEarliest := txStart + n.Latency(src, dst)
-		var downEnd sim.Time
-		if n.fabric != nil && n.topo.Group(src) != n.topo.Group(dst) {
-			var downStart sim.Time
-			downStart, downEnd = n.fabric.reserve(n, src, dst, bytes, txStart)
-			if e := downStart + n.cfg.LatencyPerHop; e > rxEarliest {
-				rxEarliest = e
-			}
-		}
-		_, rxEnd := n.nics[dst].RX.Reserve(rxEarliest, bytes)
-		if e := downEnd + n.cfg.LatencyPerHop; e > rxEnd {
-			rxEnd = e
-		}
-		n.eng.FireAt(rxEnd, arrived)
-	})
-	return arrived
+	op := n.xferOps.New()
+	op.n = n
+	op.src, op.dst, op.bytes = src, dst, bytes
+	ready.OnFireArg(n.eng, xferOpStart, unsafe.Pointer(op))
+	return &op.arrived
 }
 
 // After returns a signal that fires d after sig fires.
 func After(e *sim.Engine, sig *sim.Signal, d sim.Time) *sim.Signal {
-	if d <= 0 {
-		return sig
-	}
-	out := sim.NewSignal()
-	sig.OnFire(e, func() { e.FireAt(e.Now()+d, out) })
-	return out
+	return e.AfterSignal(sig, d)
+}
+
+// gdOp carries one GPUDirect transfer's protocol gates: gate fires a
+// handshake RTT after ready (rendezvous-sized messages only), gated
+// fires the registration overhead after that. The RTT is computed when
+// the gate event runs, not at schedule time, so the jitter RNG draw
+// order matches the protocol order on the wire.
+type gdOp struct {
+	n        *Network
+	src, dst int
+	gate     sim.Signal
+	gated    sim.Signal
+}
+
+// gdGateFire schedules the rendezvous gate one RTT out.
+func gdGateFire(_ *sim.Engine, arg unsafe.Pointer) {
+	op := (*gdOp)(arg)
+	op.n.eng.FireAt(op.n.eng.Now()+op.n.RTT(op.src, op.dst), &op.gate)
+}
+
+// gdOverheadFire schedules the registration-complete gate.
+func gdOverheadFire(_ *sim.Engine, arg unsafe.Pointer) {
+	op := (*gdOp)(arg)
+	op.n.eng.FireAt(op.n.eng.Now()+op.n.cfg.GPUDirectOverhead, &op.gated)
 }
 
 // TransferGPUDirect is Transfer plus the device-buffer registration
 // overhead, and, for rendezvous-sized messages, a handshake RTT before
 // the data moves. This is the UCX/GPUDirect path used by the Charm++
 // Channel API and by CUDA-aware MPI below its pipelining threshold.
+//
+//gat:hotpath
 func (n *Network) TransferGPUDirect(src, dst int, bytes int64, ready *sim.Signal) *sim.Signal {
+	op := n.gdOps.New()
+	op.n = n
+	op.src, op.dst = src, dst
 	start := ready
 	if bytes >= n.cfg.RendezvousThreshold && src != dst {
-		gate := sim.NewSignal()
-		ready.OnFire(n.eng, func() {
-			n.eng.FireAt(n.eng.Now()+n.RTT(src, dst), gate)
-		})
-		start = gate
+		ready.OnFireArg(n.eng, gdGateFire, unsafe.Pointer(op))
+		start = &op.gate
 	}
-	gated := sim.NewSignal()
-	start.OnFire(n.eng, func() {
-		n.eng.FireAt(n.eng.Now()+n.cfg.GPUDirectOverhead, gated)
-	})
-	return n.Transfer(src, dst, bytes, gated)
+	start.OnFireArg(n.eng, gdOverheadFire, unsafe.Pointer(op))
+	return n.Transfer(src, dst, bytes, &op.gated)
 }

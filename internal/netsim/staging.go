@@ -51,23 +51,17 @@ func (n *Network) PipelinedStagedTransfer(srcDev, dstDev *gpu.Device, src, dst i
 	srcStream.WaitSignal(ready)
 	dstStream := dstDev.AcquireStream("pipe/h2d", gpu.PriorityHigh)
 
-	done := sim.NewSignal()
-	remaining := bytes
-	var chunks []int64
-	for remaining > 0 {
-		c := chunk
-		if remaining < c {
-			c = remaining
-		}
-		chunks = append(chunks, c)
-		remaining -= c
-	}
+	done := n.eng.NewSignal()
 	// Stage 1: successive D2H chunk copies are serialized by the stream.
 	// Stage 2: each chunk's network transfer starts when its D2H is done
 	// (NIC pipe serializes chunks in order). Stage 3: each chunk's H2D
 	// waits for its own arrival; the dst stream serializes them.
-	lastIdx := len(chunks) - 1
-	for i, c := range chunks {
+	for remaining := bytes; remaining > 0; {
+		c := chunk
+		if remaining < c {
+			c = remaining
+		}
+		remaining -= c
 		d2hDone := srcStream.Copy(gpu.D2H, c)
 		// Each chunk pays the pipeline protocol overhead before it can
 		// be injected — the cost that keeps this path below GPUDirect.
@@ -75,7 +69,7 @@ func (n *Network) PipelinedStagedTransfer(srcDev, dstDev *gpu.Device, src, dst i
 		arrived := n.Transfer(src, dst, c, sendReady)
 		dstStream.WaitSignal(arrived)
 		h2dDone := dstStream.Copy(gpu.H2D, c)
-		if i == lastIdx {
+		if remaining == 0 {
 			h2dDone.Chain(n.eng, done)
 		}
 	}

@@ -1,0 +1,407 @@
+package sim
+
+import "math/bits"
+
+// calQueue is the timed-event store: a calendar queue (Brown 1988)
+// with a far-future overflow tier, tuned for the hold workload of a
+// discrete-event simulation — pop the earliest event, push a
+// replacement a short while later, O(1) amortized for both.
+//
+// Events are bucketed by fire time: an event's absolute bucket number
+// is uint64(at) >> wshift, and it lands in buckets[abs & mask]. Both
+// the bucket count and the width are powers of two, so routing is a
+// shift and a mask, never a division. Only events within the current
+// window — abs in [curAbs, curAbs+len(buckets)) at push time — go into
+// buckets; everything farther out parks in a 4-ary heap (the engine's
+// pre-calendar queue) and is drained forward as the window advances.
+//
+// Determinism: dequeue order is strict (at, seq) — buckets are kept
+// sorted by that order, the cursor sweep always takes the lowest
+// occupied bucket's first entry, and ties collapse into one bucket
+// where insertion order is already (at, seq) order. The structure is
+// an exact priority queue, not an approximation: replacing the 4-ary
+// heap with it cannot move a timeline, which is why it needs no
+// EngineVersion bump.
+//
+// The earliest event is cached in head, off to the side of the
+// buckets: the run loop peeks it on every lane/timed interleave check
+// and every Proc.Sleep fast-forward probe, so peeking must cost one
+// field read.
+type calQueue struct {
+	head event // earliest pending event; valid when n > 0
+	n    int   // pending events including head
+
+	wshift uint   // bucket width is 1 << wshift nanoseconds
+	mask   int    // len(buckets) - 1
+	curAbs uint64 // head's absolute bucket number
+	nBuck  int    // events stored in buckets (excludes head and overflow)
+
+	buckets   []calBucket
+	spare     []calBucket // retired bucket array, recycled by rebuild
+	overflow  eventHeap   // events beyond the window at push time
+	overSpare []event     // retired overflow backing array, ditto
+
+	// Resize bookkeeping: dequeue timestamps are sampled to estimate
+	// the standing population's span, from which width and bucket count
+	// are re-derived. All inputs are event-history-determined, so
+	// resizing is deterministic.
+	pops    int    // pops since the last resize check
+	lastAt  Time   // previous popped timestamp
+	gapSum  uint64 // summed inter-dequeue gaps this sample window
+	spanEst uint64 // EWMA of the per-window span estimate
+	drift   int    // consecutive windows wanting a different geometry
+	cool    int    // windows until another rebuild is permitted
+	coolLen int    // rebuild back-off length; doubles under flapping
+	sinceRB int    // windows since the last rebuild
+	resizes int
+}
+
+// calBucket is one calendar day: events sorted by (at, seq), consumed
+// from head. The explicit head index makes the all-ties case — one
+// bucket holding thousands of same-instant events — pop in O(1)
+// instead of re-copying the chain.
+type calBucket struct {
+	evs  []event
+	head int
+}
+
+const (
+	// calMinBuckets/calMaxBuckets bound the calendar size; the initial
+	// geometry suits the few-hundred-event standing population of a
+	// typical run before the first resize sample completes.
+	calMinBuckets = 64
+	calMaxBuckets = 1 << 16
+	calInitShift  = 6 // 64ns buckets
+	// calMaxShift caps bucket width at ~1ms: wider buckets than any
+	// realistic event spacing just degrade to one giant bucket.
+	calMaxShift = 20
+	// calResizeInterval is the dequeue sample window between resize
+	// checks.
+	calResizeInterval = 64
+)
+
+// init sets the initial geometry. Called once by NewEngine.
+func (q *calQueue) init() {
+	q.wshift = calInitShift
+	q.buckets = make([]calBucket, calMinBuckets)
+	q.mask = calMinBuckets - 1
+}
+
+// push inserts ev, replacing the cached head when ev precedes it.
+//
+//gat:hotpath
+func (q *calQueue) push(ev event) {
+	if q.n == 0 {
+		q.n = 1
+		q.head = ev
+		q.curAbs = uint64(ev.at) >> q.wshift
+		return
+	}
+	q.n++
+	if ev.before(q.head) {
+		// The displaced head re-enters the calendar. Its bucket number
+		// is >= the new curAbs, so the insert below stays in range; if
+		// curAbs moves backward the window shrinks and entries near its
+		// old end alias into lower buckets — the cursor sweep's
+		// bucket-number check tolerates that (see refill).
+		ev, q.head = q.head, ev
+		q.curAbs = uint64(q.head.at) >> q.wshift
+	}
+	q.insert(ev)
+}
+
+// insert routes a non-head event into its bucket or the overflow tier.
+//
+//gat:hotpath
+func (q *calQueue) insert(ev event) {
+	abs := uint64(ev.at) >> q.wshift
+	if abs-q.curAbs >= uint64(len(q.buckets)) {
+		q.overflow.pushEv(ev)
+		return
+	}
+	q.nBuck++
+	q.bucketInsert(&q.buckets[int(abs)&q.mask], ev)
+}
+
+// bucketInsert places ev into b keeping (at, seq) order. The common
+// cases are O(1): an empty bucket, or an event sorting after the
+// current tail — which is every tie, since seq increases monotonically.
+//
+//gat:hotpath
+func (q *calQueue) bucketInsert(b *calBucket, ev event) {
+	evs := b.evs
+	n := len(evs)
+	if n == 0 || evs[n-1].before(ev) {
+		b.evs = append(evs, ev)
+		return
+	}
+	lo, hi := b.head, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if evs[mid].before(ev) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	evs = append(evs, event{})
+	copy(evs[lo+1:], evs[lo:])
+	evs[lo] = ev
+	b.evs = evs
+}
+
+// popMin removes and returns the earliest event.
+//
+//gat:hotpath
+func (q *calQueue) popMin() event {
+	ev := q.head
+	q.n--
+	if q.n > 0 {
+		q.refill()
+	}
+	q.observe(ev.at)
+	return ev
+}
+
+// refill finds the next earliest event and installs it as head.
+//
+// The cursor sweep starts at the departing head's bucket and visits
+// buckets in calendar order; the first entry whose bucket number
+// matches the cursor is the global minimum (buckets are sorted, and
+// the overflow tier by invariant holds nothing before the window's
+// end). Entries that merely alias into a visited bucket — same slot,
+// higher bucket number, possible after the window slid backward over a
+// past-inserted head — fail the match and wait for a later sweep.
+//
+//gat:hotpath
+func (q *calQueue) refill() {
+	if q.nBuck == 0 {
+		// Everything pending is far-future: jump the cursor to the
+		// overflow's earliest and pull the new window in behind it.
+		ev := q.overflow.popMin()
+		q.head = ev
+		q.curAbs = uint64(ev.at) >> q.wshift
+		q.drainOverflow()
+		return
+	}
+	c := q.curAbs
+	for i := 0; i < len(q.buckets); i++ {
+		b := &q.buckets[int(c)&q.mask]
+		if b.head < len(b.evs) {
+			ev := b.evs[b.head]
+			if uint64(ev.at)>>q.wshift == c {
+				q.takeBucketHead(b)
+				q.head = ev
+				q.curAbs = c
+				q.drainOverflow()
+				return
+			}
+		}
+		c++
+	}
+	q.directSearch()
+}
+
+// directSearch is the rare fallback when a full cursor rotation finds
+// only aliased (later-window) entries: compare every bucket's first
+// entry and the overflow head directly. O(buckets), hit only after the
+// window slid backward past its whole population.
+func (q *calQueue) directSearch() {
+	var best *calBucket
+	var bestEv event
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		if b.head < len(b.evs) {
+			ev := b.evs[b.head]
+			if best == nil || ev.before(bestEv) {
+				best, bestEv = b, ev
+			}
+		}
+	}
+	if len(q.overflow) > 0 && q.overflow[0].before(bestEv) {
+		ev := q.overflow.popMin()
+		q.head = ev
+		q.curAbs = uint64(ev.at) >> q.wshift
+		q.drainOverflow()
+		return
+	}
+	q.takeBucketHead(best)
+	q.head = bestEv
+	q.curAbs = uint64(bestEv.at) >> q.wshift
+	q.drainOverflow()
+}
+
+// takeBucketHead consumes b's first entry, releasing its payload
+// pointers and recycling the chain's capacity once drained.
+//
+//gat:hotpath
+func (q *calQueue) takeBucketHead(b *calBucket) {
+	b.evs[b.head] = event{}
+	b.head++
+	if b.head == len(b.evs) {
+		b.evs = b.evs[:0]
+		b.head = 0
+	}
+	q.nBuck--
+}
+
+// drainOverflow moves overflow events that the advancing window now
+// covers into their buckets, restoring the invariant that the overflow
+// holds nothing before curAbs + len(buckets).
+func (q *calQueue) drainOverflow() {
+	limit := q.curAbs + uint64(len(q.buckets))
+	for len(q.overflow) > 0 && uint64(q.overflow[0].at)>>q.wshift < limit {
+		ev := q.overflow.popMin()
+		q.nBuck++
+		q.bucketInsert(&q.buckets[int(uint64(ev.at)>>q.wshift)&q.mask], ev)
+	}
+}
+
+// observe samples the dequeue gap and periodically re-derives the
+// calendar geometry from it.
+//
+//gat:hotpath
+func (q *calQueue) observe(at Time) {
+	q.gapSum += uint64(at - q.lastAt)
+	q.lastAt = at
+	q.pops++
+	if q.pops >= calResizeInterval {
+		q.maybeResize()
+		q.pops = 0
+		q.gapSum = 0
+	}
+}
+
+// maybeResize re-derives bucket count and width from the sampled
+// inter-dequeue spacing. The standing population's span is estimated
+// as meanGap * population (each pending event occupies one mean gap of
+// the timeline); the bucket count tracks the population so occupancy
+// stays near one event per bucket, and the width is chosen so the
+// window covers about twice the estimated span — narrow enough for a
+// short cursor sweep, wide enough that pushes rarely fall into the
+// overflow tier.
+//
+// Four dampers keep the policy from churning, because a rebuild costs
+// more than any geometry error it corrects: the per-window span feeds
+// an EWMA rather than being used raw (real workloads alternate dense
+// and sparse phases within one iteration, and the raw estimate swings
+// an order of magnitude between windows); the count moves only when
+// mean occupancy leaves [1/4, 4] and the width only when the target
+// drifts two shift steps (a population hovering at a power-of-two
+// boundary would otherwise rebuild on every check); an out-of-band
+// target must persist for four consecutive windows before the rebuild
+// happens; and back-to-back rebuilds enter an exponential back-off —
+// a bimodal arrival mix leaves the target flapping between two
+// geometries neither of which fits both modes, and without the
+// back-off the queue rebuilds forever at the drift period. The
+// back-off decays during quiet windows so a genuine later phase shift
+// is not penalized for an old flap. All inputs are
+// event-history-determined, so the policy is deterministic.
+func (q *calQueue) maybeResize() {
+	if q.cool > 0 {
+		q.cool--
+	}
+	q.sinceRB++
+	span := q.gapSum * uint64(q.n) / calResizeInterval
+	if q.spanEst == 0 {
+		q.spanEst = span
+	} else {
+		q.spanEst = (3*q.spanEst + span) / 4
+	}
+	want := len(q.buckets)
+	if q.n > 4*want || 4*q.n < want {
+		want = calMinBuckets
+		for want < q.n && want < calMaxBuckets {
+			want <<= 1
+		}
+	}
+	width := 2 * q.spanEst / uint64(want)
+	tw := uint(bits.Len64(width))
+	if tw > calMaxShift {
+		tw = calMaxShift
+	}
+	widthStable := tw == q.wshift || tw == q.wshift+1 || tw+1 == q.wshift
+	if want == len(q.buckets) && widthStable {
+		q.drift = 0
+		return
+	}
+	if q.drift++; q.drift < 4 {
+		return
+	}
+	if q.cool > 0 {
+		return
+	}
+	q.drift = 0
+	// A rebuild arriving soon after the back-off expired means the
+	// geometry is flapping, not converging: double the back-off. A
+	// rebuild after a long quiet stretch is a genuine phase shift and
+	// pays only the minimum.
+	if q.sinceRB < 8*q.coolLen {
+		if q.coolLen < 256 {
+			q.coolLen *= 2
+		}
+	} else {
+		q.coolLen = 4
+	}
+	q.cool = q.coolLen
+	q.sinceRB = 0
+	q.rebuild(tw, want)
+}
+
+// rebuild re-buckets every pending event under a new geometry. The
+// cached head stays the head — geometry cannot change order, only
+// placement. The retiring bucket array is kept as a spare and its
+// per-bucket slices (with their grown capacity) come back on the next
+// rebuild, so a same-size rebuild reaches steady state without
+// allocating.
+func (q *calQueue) rebuild(wshift uint, nb int) {
+	q.resizes++
+	old := q.buckets
+	oldOver := q.overflow
+	q.wshift = wshift
+	if len(q.spare) == nb {
+		q.buckets = q.spare
+		q.spare = nil
+	} else {
+		//gat:alloc-ok cold geometry change, rate-limited by the resize dead band
+		q.buckets = make([]calBucket, nb)
+	}
+	q.mask = nb - 1
+	q.overflow = q.overSpare[:0]
+	q.overSpare = nil
+	q.nBuck = 0
+	q.curAbs = uint64(q.head.at) >> wshift
+	for i := range old {
+		b := &old[i]
+		for j := b.head; j < len(b.evs); j++ {
+			q.insert(b.evs[j])
+		}
+		b.evs = b.evs[:0]
+		b.head = 0
+	}
+	q.spare = old
+	for _, ev := range oldOver {
+		q.insert(ev)
+	}
+	clear(oldOver)
+	q.overSpare = oldOver[:0]
+}
+
+// stats snapshots the calendar geometry for Engine.QueueStats.
+func (q *calQueue) stats() QueueStats {
+	maxLen := 0
+	for i := range q.buckets {
+		if l := len(q.buckets[i].evs) - q.buckets[i].head; l > maxLen {
+			maxLen = l
+		}
+	}
+	return QueueStats{
+		Standing:     q.n,
+		BucketWidth:  Time(1) << q.wshift,
+		Buckets:      len(q.buckets),
+		InBuckets:    q.nBuck,
+		Overflow:     len(q.overflow),
+		MaxBucketLen: maxLen,
+		Resizes:      q.resizes,
+	}
+}

@@ -1,0 +1,185 @@
+package sim
+
+import "testing"
+
+// refEv and heap4 are an independent 4-ary heap ordered by (at, seq) —
+// a from-scratch replica of the queue the engine used before the
+// calendar queue, kept here as the order reference. The equivalence
+// test below asserts the calendar dequeues in exactly this heap's
+// order under a workload that exercises every calendar mechanism, which
+// is the property that lets the calendar replace the heap without an
+// EngineVersion bump.
+type refEv struct {
+	at  Time
+	seq uint64
+}
+
+func refBefore(a, b refEv) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+type heap4 []refEv
+
+func (h *heap4) push(e refEv) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !refBefore(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+	*h = q
+}
+
+func (h *heap4) pop() refEv {
+	q := *h
+	min := q[0]
+	n := len(q) - 1
+	tail := q[n]
+	q = q[:n]
+	*h = q
+	if n == 0 {
+		return min
+	}
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if refBefore(q[j], q[best]) {
+				best = j
+			}
+		}
+		if !refBefore(q[best], tail) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = tail
+	return min
+}
+
+// TestCalendarQueueMatchesHeapReference drives the calendar queue and
+// the 4-ary reference heap through an identical randomized workload and
+// asserts every dequeue matches in both timestamp and sequence number.
+// The phases cover the mechanisms that could disagree: dense near-term
+// spacing (cursor sweep), same-instant ties (in-bucket seq order),
+// sparse far-future pushes (the overflow tier and its drain as the
+// window advances), a bimodal mix (events crossing from overflow into
+// buckets), population swings plus spacing shifts big enough to force
+// geometry rebuilds, and pushes that precede the cached head (curAbs
+// moving backward, bucket aliasing).
+func TestCalendarQueueMatchesHeapReference(t *testing.T) {
+	rng := NewRNG(7)
+	var q calQueue
+	q.init()
+	var ref heap4
+	var seq uint64
+	var now Time
+
+	push := func(at Time) {
+		seq++
+		q.push(event{at: at, seq: seq})
+		ref.push(refEv{at: at, seq: seq})
+	}
+	pop := func() {
+		if q.n != len(ref) {
+			t.Fatalf("size mismatch: calendar %d, reference %d", q.n, len(ref))
+		}
+		got := q.popMin()
+		want := ref.pop()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("dequeue mismatch: calendar (%d, %d), reference (%d, %d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+		if got.at < now {
+			t.Fatalf("time went backward: %d after %d", got.at, now)
+		}
+		now = got.at
+	}
+
+	// hold runs a push-one-pop-one workload at the given standing depth
+	// with gaps drawn from [1, maxGap]; every tiesEvery-th push lands
+	// exactly on the current head's timestamp to force (time, seq)
+	// tie-breaks, and every farEvery-th push jumps farGap ahead so it
+	// enters the overflow tier and later drains back into the window.
+	hold := func(depth, iters int, maxGap Time, tiesEvery, farEvery int, farGap Time) {
+		for q.n < depth {
+			push(now + 1 + Time(rng.Intn(int(maxGap))))
+		}
+		for i := 0; i < iters; i++ {
+			at := now + 1 + Time(rng.Intn(int(maxGap)))
+			switch {
+			case farEvery > 0 && i%farEvery == farEvery-1:
+				at = now + farGap + Time(rng.Intn(int(maxGap)))
+			case tiesEvery > 0 && i%tiesEvery == tiesEvery-1 && q.n > 0:
+				at = q.head.at // exact tie with the pending minimum
+			}
+			push(at)
+			pop()
+		}
+	}
+
+	hold(256, 4000, 512, 7, 0, 0)        // dense near-term, frequent ties
+	hold(64, 4000, 1<<19, 0, 0, 0)       // sparse: ~0.5ms gaps, width must grow
+	hold(512, 6000, 256, 5, 16, 1<<21)   // bimodal: dense base + far-future spikes
+	hold(2048, 4000, 1<<14, 3, 9, 1<<22) // deep, mixed, resize boundary crossings
+	for q.n > 0 {
+		pop()
+	}
+	if q.resizes == 0 {
+		t.Fatalf("workload never triggered a geometry rebuild; stats: %+v", q.stats())
+	}
+	if seq < 20000 {
+		t.Fatalf("workload too small: %d events", seq)
+	}
+}
+
+// TestCalendarQueueHeadDisplacement pins the push path that replaces
+// the cached head: a push earlier than every pending event must become
+// the new head immediately (one field read for the engine's peek), and
+// the displaced head must re-enter the calendar without losing its
+// place in the total order, even when the new head lands in an earlier
+// bucket window (curAbs moves backward and surviving entries alias).
+func TestCalendarQueueHeadDisplacement(t *testing.T) {
+	var q calQueue
+	q.init()
+	var ref heap4
+	seq := uint64(0)
+	push := func(at Time) {
+		seq++
+		q.push(event{at: at, seq: seq})
+		ref.push(refEv{at: at, seq: seq})
+	}
+	// Fill far ahead of t=0, then push successively earlier heads,
+	// including one tie pair at the very front.
+	for i := 0; i < 300; i++ {
+		push(Time(1_000_000 + i*64))
+	}
+	for _, at := range []Time{500_000, 10_000, 777, 777, 3} {
+		push(at)
+		if q.head.at != at {
+			t.Fatalf("head not displaced: want %d, have %d", at, q.head.at)
+		}
+	}
+	for q.n > 0 {
+		got := q.popMin()
+		want := ref.pop()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("dequeue mismatch after displacement: calendar (%d, %d), reference (%d, %d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+	}
+}

@@ -73,18 +73,30 @@ func DurationOf(bytes int64, bytesPerSec float64) Time {
 	return Time(math.Floor(float64(bytes)/bytesPerSec*float64(Second) + 0.5))
 }
 
-// event is one scheduled action: either a callback or, when isSig is
-// set, "fire this signal" — the completion idiom of every transfer
-// model, carried directly so it costs no closure. The payload is packed
-// into a single pointer word (a func value is one pointer to its
-// funcval; a *Signal is one pointer) so the event stays at 32 bytes —
-// sift operations copy events, and a fatter event measurably slows the
-// heap's hold workload.
+// ArgFunc is a statically defined callback that receives its state as
+// an untyped pointer. Scheduling (fn, arg) pairs lets a long-lived
+// record — an arena-allocated transfer op, a proc — be dispatched
+// through one shared top-level function, so registering or firing it
+// allocates no closure. The arg must be non-nil (a nil arg selects the
+// plain-callback payload form below).
+type ArgFunc func(*Engine, unsafe.Pointer)
+
+// event is one scheduled action, its payload packed into two pointer
+// words so the event stays at 32 bytes — sift and copy operations move
+// events, and a fatter event measurably slows the queue's hold
+// workload. Three payload forms share the packing:
+//
+//	fn == nil             fire (*Signal)(arg) — the completion idiom of
+//	                      every transfer model, carried without closure
+//	arg == nil            call the func() packed in fn
+//	fn, arg both non-nil  call the ArgFunc packed in fn with arg — the
+//	                      record-callback form behind arena-allocated
+//	                      transfer ops and proc wakeups
 type event struct {
-	at    Time
-	seq   uint64
-	ptr   unsafe.Pointer // *funcval (callback) or *Signal (isSig)
-	isSig bool
+	at  Time
+	seq uint64
+	fn  unsafe.Pointer // *funcval of a func() or ArgFunc; nil for fire-signal
+	arg unsafe.Pointer // *Signal, or the ArgFunc's record argument
 }
 
 // fnToPtr extracts a func value's single-word runtime representation.
@@ -95,22 +107,35 @@ func fnToPtr(fn func()) unsafe.Pointer { return *(*unsafe.Pointer)(unsafe.Pointe
 // ptrToFn reconstitutes a func value packed by fnToPtr.
 func ptrToFn(p unsafe.Pointer) func() { return *(*func())(unsafe.Pointer(&p)) }
 
+// argFnToPtr packs an ArgFunc the same way. Top-level functions have
+// static funcvals, so converting one allocates nothing.
+func argFnToPtr(fn ArgFunc) unsafe.Pointer { return *(*unsafe.Pointer)(unsafe.Pointer(&fn)) }
+
+// ptrToArgFn reconstitutes an ArgFunc packed by argFnToPtr.
+func ptrToArgFn(p unsafe.Pointer) ArgFunc { return *(*ArgFunc)(unsafe.Pointer(&p)) }
+
 // dispatch executes the event's action.
 func (ev event) dispatch(e *Engine) {
-	if ev.isSig {
-		(*Signal)(ev.ptr).Fire(e)
+	if ev.fn == nil {
+		(*Signal)(ev.arg).Fire(e)
 		return
 	}
-	ptrToFn(ev.ptr)()
+	if ev.arg == nil {
+		ptrToFn(ev.fn)()
+		return
+	}
+	ptrToArgFn(ev.fn)(e, ev.arg)
 }
 
 // eventHeap is a monomorphic 4-ary min-heap ordered by (at, seq). It
 // deliberately avoids container/heap: the interface methods box every
-// event and defeat inlining, and the event loop is the throughput
-// bound of every simulation. A 4-ary layout halves the tree depth of a
+// event and defeat inlining. Since the calendar queue took over the
+// dense near-term population, the heap serves as the calendar's
+// far-future overflow tier — events beyond the bucket window, where
+// O(log n) on a small, rarely touched set is cheaper than widening the
+// calendar to reach them. A 4-ary layout halves the tree depth of a
 // binary heap, trading slightly more comparisons per level for far
-// fewer cache-missing sift-down steps — the win for the mostly
-// push-pop workload of a discrete-event queue.
+// fewer cache-missing sift-down steps.
 type eventHeap []event
 
 // before reports whether a fires before b: earlier time, then earlier
@@ -194,18 +219,18 @@ func (h *eventHeap) popMin() event {
 // construct with NewEngine.
 //
 // Internally the engine keeps two event stores that together implement
-// exact (time, sequence) order: the heap for timed events, and a FIFO
-// lane for zero-delay events — the dominant class in a real simulation
-// (signal wakeups, queue wakeups, yields, proc resumes). Because a
-// zero-delay event both carries the current timestamp and outranks, by
-// sequence, every heap event that could still be scheduled at that
-// timestamp, FIFO order within the lane is exactly (time, seq) order;
-// only heap events already queued at the current instant can outrank
-// the lane head, and a single peek detects that.
+// exact (time, sequence) order: the calendar queue for timed events,
+// and a FIFO lane for zero-delay events — the dominant class in a real
+// simulation (signal wakeups, queue wakeups, yields, proc resumes).
+// Because a zero-delay event both carries the current timestamp and
+// outranks, by sequence, every timed event that could still be
+// scheduled at that timestamp, FIFO order within the lane is exactly
+// (time, seq) order; only timed events already queued at the current
+// instant can outrank the lane head, and a single peek detects that.
 type Engine struct {
 	// Hot fields first, grouped so the run loop touches few cache
 	// lines: every dispatched event reads now/seq/nEvents and one of
-	// lane/events.
+	// lane/timed.
 	now     Time
 	seq     uint64
 	nEvents uint64 // total events executed, for diagnostics
@@ -214,20 +239,38 @@ type Engine struct {
 	// fast-forward the clock only within the active run window.
 	limit   Time
 	stopped bool
-	// noLane routes zero-delay events through the heap instead of the
-	// FIFO lane. Test hook only: the ordering-equivalence test runs the
-	// same workload both ways and asserts identical event order.
+	// noLane routes zero-delay events through the timed queue instead
+	// of the FIFO lane. Test hook only: the ordering-equivalence test
+	// runs the same workload both ways and asserts identical order.
 	noLane bool
-	lane   eventLane
-	events eventHeap
+	// inDrive marks an active RunUntil, where the event loop is driven
+	// by whichever goroutine holds the execution token (see drive): a
+	// parking proc keeps driving instead of switching back to the
+	// RunUntil caller, halving the goroutine switches per park/resume
+	// pair. Step clears it, keeping its one-event contract on the
+	// legacy handshake.
+	inDrive bool
+	lane    eventLane
+	timed   calQueue
 
 	handoff chan struct{} // procs signal here when they park or exit
 	tracer  *Tracer
+
+	// Per-engine arenas for the record types sim itself creates on the
+	// hot path. Records live until the engine is discarded (or the
+	// arenas are reset between runs by a caller that owns the engine);
+	// see Arena for the lifetime contract.
+	sigs     Arena[Signal]
+	pipeOps  Arena[pipeOp]
+	delayOps Arena[delayOp]
+	waitAlls Arena[waitAll]
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{handoff: make(chan struct{})}
+	e := &Engine{handoff: make(chan struct{})}
+	e.timed.init()
+	return e
 }
 
 // Now returns the current virtual time.
@@ -254,26 +297,27 @@ func (e *Engine) Schedule(d Time, fn func()) {
 
 // At queues fn to run at absolute time t, which must not be in the past.
 // Zero-delay events (t equal to the current time) take the FIFO lane,
-// skipping the heap entirely while keeping exact (time, seq) order.
+// skipping the timed queue entirely while keeping exact (time, seq)
+// order.
 //
 //gat:hotpath
-func (e *Engine) At(t Time, fn func()) { e.push(t, fnToPtr(fn), false) }
+func (e *Engine) At(t Time, fn func()) { e.push(t, fnToPtr(fn), nil) }
 
-// push routes an event — callback or fire-signal form — to the lane or
-// the heap.
+// push routes an event — in any payload form — to the lane or the
+// timed queue.
 //
 //gat:hotpath
-func (e *Engine) push(t Time, ptr unsafe.Pointer, isSig bool) {
+func (e *Engine) push(t Time, fn, arg unsafe.Pointer) {
 	if t < e.now {
 		//gat:alloc-ok cold panic path; formatting cost is irrelevant once the engine is wedged
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
 	}
 	e.seq++
 	if t == e.now && !e.noLane {
-		e.lane.push(laneEvent{seq: e.seq, ptr: ptr, isSig: isSig})
+		e.lane.push(laneEvent{seq: e.seq, fn: fn, arg: arg})
 		return
 	}
-	e.events.pushEv(event{at: t, seq: e.seq, ptr: ptr, isSig: isSig})
+	e.timed.push(event{at: t, seq: e.seq, fn: fn, arg: arg})
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -284,49 +328,114 @@ func (e *Engine) Run() Time { return e.RunUntil(maxTime) }
 // to each event's time. Events left in the queue remain schedulable by a
 // later call. It returns the current virtual time when it stops.
 //
-// The loop drains the whole same-timestamp batch from the zero-delay
-// lane before consulting the heap for a clock advance; heap events that
-// share the current timestamp (necessarily scheduled earlier, so with
-// smaller sequence numbers) are interleaved ahead of the lane by a
-// single peek, never a re-sort.
+// The run executes in token-passing mode: the caller's goroutine starts
+// driving the event loop, and when an event resumes a proc, the
+// execution token — and with it the loop — moves to that proc's
+// goroutine directly (see drive). The event order is exactly the
+// (time, seq) order an engine-driven loop would produce; only which
+// goroutine pops each event changes.
 //
 //gat:hotpath
 func (e *Engine) RunUntil(limit Time) Time {
 	e.stopped = false
 	e.limit = limit
+	e.inDrive = true
+	e.drive(nil)
+	e.inDrive = false
+	return e.now
+}
+
+// drive runs the event loop on the calling goroutine — the RunUntil
+// caller (self == nil) or a parking proc — until the run ends or the
+// token moves on.
+//
+// The loop drains the whole same-timestamp batch from the zero-delay
+// lane before consulting the timed queue for a clock advance; timed
+// events that share the current timestamp (necessarily scheduled
+// earlier, so with smaller sequence numbers) are interleaved ahead of
+// the lane by a single peek of the queue's cached head, never a
+// re-sort.
+//
+// Proc resume events are intercepted by payload identity (fn ==
+// procResumePtr) instead of dispatched: popping one's own resume means
+// the park is over (the proc returns to user code with zero goroutine
+// switches — the common Sleep shape, where the sleeper pops its own
+// wakeup); popping another proc's resume hands the token to that proc
+// in one switch. The RunUntil caller parks on the handoff channel
+// while procs hold the token, and receives it back — uniformly meaning
+// "continue driving" — when a proc exits or ends the run.
+//
+//gat:hotpath
+func (e *Engine) drive(self *Proc) {
 	for !e.stopped {
+		var fn, arg unsafe.Pointer
 		if e.lane.n > 0 {
 			// Lane entries are stamped with the current time; if even
 			// that is past the limit they must stay queued.
-			if e.now > limit {
-				return e.now
+			if e.now > e.limit {
+				break
 			}
-			if len(e.events) > 0 && e.events[0].at == e.now && e.events[0].seq < e.lane.peekSeq() {
-				ev := e.events.popMin()
-				e.nEvents++
-				ev.dispatch(e)
+			if e.timed.n > 0 && e.timed.head.at == e.now && e.timed.head.seq < e.lane.peekSeq() {
+				ev := e.timed.popMin()
+				fn, arg = ev.fn, ev.arg
+			} else {
+				le := e.lane.pop()
+				fn, arg = le.fn, le.arg
+			}
+		} else {
+			if e.timed.n == 0 {
+				break
+			}
+			if e.timed.head.at > e.limit {
+				if e.limit > e.now {
+					e.now = e.limit
+				}
+				break
+			}
+			ev := e.timed.popMin()
+			e.now = ev.at
+			fn, arg = ev.fn, ev.arg
+		}
+		e.nEvents++
+		if fn == procResumePtr {
+			p := (*Proc)(arg)
+			if p == self {
+				// Our own resume: the park is over and this goroutine
+				// already holds the token.
+				return
+			}
+			if p.exited {
+				//gat:alloc-ok cold panic path
+				panic("sim: resuming exited proc " + p.name)
+			}
+			p.wake <- struct{}{}
+			if self == nil {
+				// The token comes back when a proc exits or ends the
+				// run; either way, resume driving.
+				<-e.handoff
 				continue
 			}
-			le := e.lane.pop()
-			e.nEvents++
-			le.dispatch(e)
+			// Token handed on; wait for our own resume to be dispatched
+			// by whoever drives then.
+			<-self.wake
+			return
+		}
+		if fn == nil {
+			(*Signal)(arg).Fire(e)
 			continue
 		}
-		if len(e.events) == 0 {
-			break
+		if arg == nil {
+			ptrToFn(fn)()
+			continue
 		}
-		if e.events[0].at > limit {
-			if limit > e.now {
-				e.now = limit
-			}
-			return e.now
-		}
-		ev := e.events.popMin()
-		e.now = ev.at
-		e.nEvents++
-		ev.dispatch(e)
+		ptrToArgFn(fn)(e, arg)
 	}
-	return e.now
+	if self != nil {
+		// Run over while a proc held the token: hand it back to the
+		// RunUntil caller and park until a later run resumes us.
+		e.handoff <- struct{}{}
+		<-self.wake
+	}
 }
 
 // Step executes the single earliest pending event, advancing the clock
@@ -337,9 +446,10 @@ func (e *Engine) RunUntil(limit Time) Time {
 // advance the clock past the event's own timestamp.
 func (e *Engine) Step() bool {
 	e.limit = maxTime
+	e.inDrive = false
 	if e.lane.n > 0 {
-		if len(e.events) > 0 && e.events[0].at == e.now && e.events[0].seq < e.lane.peekSeq() {
-			ev := e.events.popMin()
+		if e.timed.n > 0 && e.timed.head.at == e.now && e.timed.head.seq < e.lane.peekSeq() {
+			ev := e.timed.popMin()
 			e.nEvents++
 			ev.dispatch(e)
 			return true
@@ -349,10 +459,10 @@ func (e *Engine) Step() bool {
 		le.dispatch(e)
 		return true
 	}
-	if len(e.events) == 0 {
+	if e.timed.n == 0 {
 		return false
 	}
-	ev := e.events.popMin()
+	ev := e.timed.popMin()
 	e.now = ev.at
 	e.nEvents++
 	ev.dispatch(e)
@@ -364,4 +474,44 @@ func (e *Engine) Step() bool {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Idle reports whether no events are pending.
-func (e *Engine) Idle() bool { return len(e.events) == 0 && e.lane.n == 0 }
+func (e *Engine) Idle() bool { return e.timed.n == 0 && e.lane.n == 0 }
+
+// QueueStats is a snapshot of the timed queue's calendar structure, for
+// diagnostics (cmd/microbench -v) and resize-pathology hunting.
+type QueueStats struct {
+	// Standing is the number of pending timed events, including the
+	// cached head.
+	Standing int
+	// BucketWidth is the calendar bucket width.
+	BucketWidth Time
+	// Buckets is the number of calendar buckets.
+	Buckets int
+	// InBuckets counts events stored in the calendar buckets.
+	InBuckets int
+	// Overflow counts far-future events parked in the heap tier.
+	Overflow int
+	// MaxBucketLen is the longest current bucket chain.
+	MaxBucketLen int
+	// Resizes counts calendar rebuilds (width or bucket-count changes)
+	// since the engine was created.
+	Resizes int
+}
+
+// QueueStats returns a snapshot of the timed queue's structure.
+func (e *Engine) QueueStats() QueueStats { return e.timed.stats() }
+
+// ResetArenas frees all engine-arena records (signals, pipe and delay
+// ops) at once, keeping chunk capacity so the next run reuses the same
+// warm memory. It may only be called at a run boundary: the engine must
+// be idle, and the caller must guarantee no record pointer from before
+// the reset — no *Signal from Engine.NewSignal, no signal returned by
+// Pipe.TransferAfter or Engine.AfterSignal — is used afterwards.
+func (e *Engine) ResetArenas() {
+	if !e.Idle() {
+		panic("sim: ResetArenas with events pending")
+	}
+	e.sigs.Reset()
+	e.pipeOps.Reset()
+	e.delayOps.Reset()
+	e.waitAlls.Reset()
+}

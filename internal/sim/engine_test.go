@@ -220,11 +220,11 @@ func TestEventHeapPopClearsSlot(t *testing.T) {
 	// The vacated tail slot must not retain the popped event's closure.
 	var h eventHeap
 	fn := func() {}
-	h.pushEv(event{at: 1, seq: 1, ptr: fnToPtr(fn)})
-	h.pushEv(event{at: 2, seq: 2, ptr: fnToPtr(fn)})
+	h.pushEv(event{at: 1, seq: 1, fn: fnToPtr(fn)})
+	h.pushEv(event{at: 2, seq: 2, fn: fnToPtr(fn)})
 	h.popMin()
 	tail := h[:cap(h)][len(h)]
-	if tail.ptr != nil || tail.at != 0 || tail.seq != 0 {
+	if tail.fn != nil || tail.at != 0 || tail.seq != 0 {
 		t.Fatalf("vacated slot still live: %+v", tail)
 	}
 }

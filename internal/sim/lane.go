@@ -4,21 +4,27 @@ import "unsafe"
 
 // laneEvent is one zero-delay event: its action runs at the timestamp
 // it was scheduled at (the lane never outlives a clock instant), and
-// seq interleaves it with heap events that share that timestamp. The
-// payload packing matches event.
+// seq interleaves it with timed events that share that timestamp. The
+// payload packing matches event: fn == nil fires (*Signal)(arg),
+// arg == nil calls the func() in fn, both non-nil calls the ArgFunc in
+// fn with arg.
 type laneEvent struct {
-	seq   uint64
-	ptr   unsafe.Pointer // *funcval (callback) or *Signal (isSig)
-	isSig bool
+	seq uint64
+	fn  unsafe.Pointer
+	arg unsafe.Pointer
 }
 
 // dispatch executes the lane event's action.
 func (le laneEvent) dispatch(e *Engine) {
-	if le.isSig {
-		(*Signal)(le.ptr).Fire(e)
+	if le.fn == nil {
+		(*Signal)(le.arg).Fire(e)
 		return
 	}
-	ptrToFn(le.ptr)()
+	if le.arg == nil {
+		ptrToFn(le.fn)()
+		return
+	}
+	ptrToArgFn(le.fn)(e, le.arg)
 }
 
 // eventLane is a growable ring buffer holding zero-delay events in
@@ -31,7 +37,7 @@ func (le laneEvent) dispatch(e *Engine) {
 // Invariant: every queued entry was scheduled at the engine's current
 // time, so the lane must drain completely before the clock advances.
 // The engine's run loop maintains this by always preferring the lane
-// unless a heap event at the same timestamp has a smaller sequence
+// unless a timed event at the same timestamp has a smaller sequence
 // number.
 type eventLane struct {
 	buf  []laneEvent // len(buf) is a power of two, or nil before first use

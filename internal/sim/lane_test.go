@@ -112,7 +112,7 @@ func TestLaneRing(t *testing.T) {
 	var l eventLane
 	var got []int
 	mk := func(i int) laneEvent {
-		return laneEvent{seq: uint64(i), ptr: fnToPtr(func() { got = append(got, i) })}
+		return laneEvent{seq: uint64(i), fn: fnToPtr(func() { got = append(got, i) })}
 	}
 	next := 0
 	push := func(k int) {
@@ -126,7 +126,7 @@ func TestLaneRing(t *testing.T) {
 			if l.n == 0 {
 				t.Fatal("pop on empty lane")
 			}
-			ptrToFn(l.pop().ptr)()
+			ptrToFn(l.pop().fn)()
 		}
 	}
 	push(10)
@@ -143,7 +143,7 @@ func TestLaneRing(t *testing.T) {
 	}
 	// Vacated slots must not retain closures.
 	for i := range l.buf {
-		if l.buf[i].ptr != nil {
+		if l.buf[i].fn != nil {
 			t.Fatalf("slot %d still holds a payload after drain", i)
 		}
 	}

@@ -1,5 +1,7 @@
 package sim
 
+import "unsafe"
+
 // Pipe models a serialized bandwidth resource: a DMA copy engine, a NIC
 // injection port, or a host-interconnect link. Transfers are served in
 // request order; each occupies the pipe for overhead + bytes/bandwidth.
@@ -14,6 +16,34 @@ type Pipe struct {
 	freeAt      Time // pipe is busy until this instant
 
 	busyAccum Time // total busy time, for utilization reporting
+
+	// Iterative workloads push the same few transfer sizes through a
+	// pipe every step; the two most recent distinct sizes memoize the
+	// float division in duration. Exact values: a hit returns the very
+	// Time a miss computed. dur == 0 marks an empty slot (a zero-byte
+	// transfer recomputes, harmlessly).
+	memoBytes [2]int64
+	memoDur   [2]Time
+}
+
+// duration returns overhead + bytes/bandwidth through the memo.
+//
+//gat:hotpath
+func (pp *Pipe) duration(bytes int64) Time {
+	if pp.memoBytes[0] == bytes && pp.memoDur[0] != 0 {
+		return pp.memoDur[0]
+	}
+	if pp.memoBytes[1] == bytes && pp.memoDur[1] != 0 {
+		pp.memoBytes[0], pp.memoBytes[1] = pp.memoBytes[1], pp.memoBytes[0]
+		pp.memoDur[0], pp.memoDur[1] = pp.memoDur[1], pp.memoDur[0]
+		return pp.memoDur[0]
+	}
+	dur := pp.overhead + DurationOf(bytes, pp.bytesPerSec)
+	pp.memoBytes[1] = pp.memoBytes[0]
+	pp.memoDur[1] = pp.memoDur[0]
+	pp.memoBytes[0] = bytes
+	pp.memoDur[0] = dur
+	return dur
 }
 
 // NewPipe returns a pipe with the given bandwidth (bytes/second) and
@@ -49,22 +79,41 @@ func (pp *Pipe) Transfer(bytes int64) *Signal {
 	return pp.TransferAfter(FiredSignal(), bytes)
 }
 
+// pipeOp is one pending TransferAfter: the pipe and byte count wait in
+// the record until the ready signal fires, then the reservation is made
+// and done is scheduled. Allocated from the engine's arena.
+type pipeOp struct {
+	pp    *Pipe
+	bytes int64
+	done  Signal
+}
+
+// pipeOpStart is the ArgFunc run when a pipeOp's ready signal fires.
+func pipeOpStart(_ *Engine, arg unsafe.Pointer) {
+	op := (*pipeOp)(arg)
+	pp := op.pp
+	start := pp.FreeAt()
+	dur := pp.duration(op.bytes)
+	pp.freeAt = start + dur
+	pp.busyAccum += dur
+	pp.eng.FireAt(pp.freeAt, &op.done)
+	if tr := pp.eng.tracer; tr != nil {
+		tr.Add(Span{Resource: pp.name, Label: "xfer", Start: start, End: pp.freeAt, Bytes: op.bytes})
+	}
+}
+
 // TransferAfter is like Transfer but the transfer cannot start before
 // ready fires. The pipe is reserved only once ready fires, so other
-// transfers may proceed in the meantime.
+// transfers may proceed in the meantime. The pending transfer lives in
+// an arena record, so the steady state allocates nothing.
+//
+//gat:hotpath
 func (pp *Pipe) TransferAfter(ready *Signal, bytes int64) *Signal {
-	done := NewSignal()
-	ready.OnFire(pp.eng, func() {
-		start := pp.FreeAt()
-		dur := pp.overhead + DurationOf(bytes, pp.bytesPerSec)
-		pp.freeAt = start + dur
-		pp.busyAccum += dur
-		pp.eng.FireAt(pp.freeAt, done)
-		if tr := pp.eng.tracer; tr != nil {
-			tr.Add(Span{Resource: pp.name, Label: "xfer", Start: start, End: pp.freeAt, Bytes: bytes})
-		}
-	})
-	return done
+	op := pp.eng.pipeOps.New()
+	op.pp = pp
+	op.bytes = bytes
+	ready.OnFireArg(pp.eng, pipeOpStart, unsafe.Pointer(op))
+	return &op.done
 }
 
 // Reserve books the pipe for bytes starting no earlier than earliest,
@@ -82,7 +131,7 @@ func (pp *Pipe) Reserve(earliest Time, bytes int64) (start, end Time) {
 	if pp.freeAt > start {
 		start = pp.freeAt
 	}
-	dur := pp.overhead + DurationOf(bytes, pp.bytesPerSec)
+	dur := pp.duration(bytes)
 	end = start + dur
 	pp.freeAt = end
 	pp.busyAccum += dur

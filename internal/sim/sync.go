@@ -2,6 +2,15 @@ package sim
 
 import "unsafe"
 
+// sigCB is one registered completion action, packed exactly like an
+// event payload: fn == nil fires (*Signal)(arg), arg == nil calls the
+// func() in fn, both non-nil calls the ArgFunc in fn with arg. The
+// zero value means "no callback registered".
+type sigCB struct {
+	fn  unsafe.Pointer
+	arg unsafe.Pointer
+}
+
 // Signal is a one-shot broadcast: it starts unfired, fires exactly once,
 // and wakes every waiting proc and runs every registered callback when it
 // does. Waiting on an already-fired signal completes immediately.
@@ -9,21 +18,33 @@ import "unsafe"
 // Signals are the completion primitive used throughout the simulator:
 // GPU events, network transfer completions, and request objects all
 // expose Signals.
-// Signal stores its first waiter and first callback inline: the common
-// case throughout the simulator is exactly one of each (a request with
-// one waiting rank, a transfer with one completion callback), and the
-// inline slots make that case allocation-free. Registration order is
-// preserved — the inline slot is always the earliest registration.
+// Signal stores its first waiter and first two callbacks inline: one
+// each is the common case throughout the simulator (a request with one
+// waiting rank, a transfer with one completion callback), and two
+// callbacks is the next most common (an accounting hook plus the
+// transfer start on one gate signal), so the inline slots make both
+// allocation-free. Registration order is preserved — the inline slots
+// are always the earliest registrations.
 type Signal struct {
 	fired     bool
 	w0        *Proc
 	waiters   []*Proc // second and later waiters
-	cb0       func()
-	callbacks []func() // second and later callbacks
+	ga        *waitAll
+	cb0, cb1  sigCB
+	callbacks []sigCB // third and later callbacks
 }
 
 // NewSignal returns an unfired signal.
 func NewSignal() *Signal { return &Signal{} }
+
+// NewSignal returns an unfired signal allocated from the engine's
+// arena: it costs a pointer bump, and it is reclaimed wholesale when
+// the engine's arenas are reset or discarded. Use it for run-transient
+// completion signals; a signal that must outlive the engine still goes
+// through the package-level NewSignal.
+//
+//gat:hotpath
+func (e *Engine) NewSignal() *Signal { return e.sigs.New() }
 
 // firedSignal is the shared already-fired signal. Safe to share across
 // engines and goroutines: every Signal method is a pure read once fired
@@ -42,8 +63,9 @@ func (s *Signal) Fired() bool { return s.fired }
 // the current time, and runs callbacks in registration order. Firing an
 // already-fired signal is a no-op.
 //
-// Waiters are resumed through their pre-bound resume thunks, so firing
-// a signal allocates nothing regardless of fan-out.
+// Waiters resume through the shared procResume dispatch and callbacks
+// are re-queued in their stored payload form, so firing a signal
+// allocates nothing regardless of fan-out.
 //
 //gat:hotpath
 func (s *Signal) Fire(e *Engine) {
@@ -52,23 +74,54 @@ func (s *Signal) Fire(e *Engine) {
 	}
 	s.fired = true
 	if s.w0 != nil {
-		e.At(e.now, s.w0.resumeFn)
+		e.push(e.now, procResumePtr, unsafe.Pointer(s.w0))
 		s.w0 = nil
 	}
 	waiters := s.waiters
 	s.waiters = nil
 	for _, p := range waiters {
-		e.At(e.now, p.resumeFn)
+		e.push(e.now, procResumePtr, unsafe.Pointer(p))
 	}
-	if s.cb0 != nil {
-		e.At(e.now, s.cb0)
-		s.cb0 = nil
+	if g := s.ga; g != nil {
+		// Group wait: decrement at fire time, in the waiter slot of the
+		// push order, so the group's single resume is pushed at exactly
+		// the position a plain waiter's resume would occupy on the last
+		// signal to fire (see Proc.WaitAll).
+		s.ga = nil
+		g.n--
+		if g.n == 0 {
+			e.push(e.now, procResumePtr, unsafe.Pointer(g.p))
+		}
+	}
+	if s.cb0 != (sigCB{}) {
+		e.push(e.now, s.cb0.fn, s.cb0.arg)
+		s.cb0 = sigCB{}
+	}
+	if s.cb1 != (sigCB{}) {
+		e.push(e.now, s.cb1.fn, s.cb1.arg)
+		s.cb1 = sigCB{}
 	}
 	callbacks := s.callbacks
 	s.callbacks = nil
 	for _, cb := range callbacks {
-		e.At(e.now, cb)
+		e.push(e.now, cb.fn, cb.arg)
 	}
+}
+
+// addCB appends a callback in registration order, filling the inline
+// slots first.
+func (s *Signal) addCB(cb sigCB) {
+	if len(s.callbacks) == 0 {
+		if s.cb0 == (sigCB{}) {
+			s.cb0 = cb
+			return
+		}
+		if s.cb1 == (sigCB{}) {
+			s.cb1 = cb
+			return
+		}
+	}
+	s.callbacks = append(s.callbacks, cb)
 }
 
 // OnFire registers cb to run (as a scheduled event) when the signal
@@ -78,22 +131,37 @@ func (s *Signal) OnFire(e *Engine, cb func()) {
 		e.At(e.now, cb)
 		return
 	}
-	if s.cb0 == nil && len(s.callbacks) == 0 {
-		s.cb0 = cb
+	s.addCB(sigCB{fn: fnToPtr(cb)})
+}
+
+// OnFireArg registers a static callback with a record argument, the
+// allocation-free form of OnFire for arena-allocated records: the
+// (fn, arg) pair is stored and later scheduled verbatim, no closure is
+// created at any point. arg must be non-nil — a nil arg would make the
+// stored pair ambiguous with the other payload forms.
+//
+//gat:hotpath
+func (s *Signal) OnFireArg(e *Engine, fn ArgFunc, arg unsafe.Pointer) {
+	if arg == nil {
+		panic("sim: OnFireArg requires a non-nil arg")
+	}
+	if s.fired {
+		e.push(e.now, argFnToPtr(fn), arg)
 		return
 	}
-	s.callbacks = append(s.callbacks, cb)
+	s.addCB(sigCB{fn: argFnToPtr(fn), arg: arg})
 }
 
 // Chain arranges for dst to fire (as its own scheduled event) when s
 // fires; if s has already fired, dst's firing is scheduled at the
-// current time through the allocation-free fire-signal event form.
+// current time. Either way the link is carried in the fire-signal
+// payload form, so chaining allocates nothing.
 func (s *Signal) Chain(e *Engine, dst *Signal) {
 	if s.fired {
 		e.FireAt(e.now, dst)
 		return
 	}
-	s.OnFire(e, func() { dst.Fire(e) })
+	s.addCB(sigCB{arg: unsafe.Pointer(dst)})
 }
 
 // FireAt schedules s to fire at absolute time t. It is the
@@ -102,7 +170,33 @@ func (s *Signal) Chain(e *Engine, dst *Signal) {
 // carries the signal pointer directly instead of a closure.
 //
 //gat:hotpath
-func (e *Engine) FireAt(t Time, s *Signal) { e.push(t, unsafe.Pointer(s), true) }
+func (e *Engine) FireAt(t Time, s *Signal) { e.push(t, nil, unsafe.Pointer(s)) }
+
+// delayOp carries one AfterSignal link: when the source signal fires,
+// the op schedules its out signal to fire d later.
+type delayOp struct {
+	d   Time
+	out Signal
+}
+
+// delayOpFire is the ArgFunc behind AfterSignal.
+func delayOpFire(e *Engine, arg unsafe.Pointer) {
+	op := (*delayOp)(arg)
+	e.FireAt(e.now+op.d, &op.out)
+}
+
+// AfterSignal returns a signal that fires d after sig fires. A
+// non-positive delay returns sig itself. The link record comes from the
+// engine's arena, so a delay chain costs no per-hop heap allocation.
+func (e *Engine) AfterSignal(sig *Signal, d Time) *Signal {
+	if d <= 0 {
+		return sig
+	}
+	op := e.delayOps.New()
+	op.d = d
+	sig.OnFireArg(e, delayOpFire, unsafe.Pointer(op))
+	return &op.out
+}
 
 func (s *Signal) addWaiter(p *Proc) {
 	if s.w0 == nil && len(s.waiters) == 0 {
@@ -183,7 +277,7 @@ func (c *Counter) Done() *Signal { return c.sig }
 // re-sliced off the front: re-slicing leaks capacity with every pop, so
 // a steady push/pop cycle would reallocate continuously. With the head
 // index the backing array is reused and the steady state allocates
-// nothing. Waiters are woken through their pre-bound resume thunks and
+// nothing. Waiters are woken through the shared procResume dispatch and
 // removed by copy-down for the same reason.
 type Queue[T any] struct {
 	items   []T
@@ -209,7 +303,7 @@ func (q *Queue[T]) Push(e *Engine, v T) {
 		p := q.waiters[0]
 		copy(q.waiters, q.waiters[1:])
 		q.waiters = q.waiters[:len(q.waiters)-1]
-		e.At(e.now, p.resumeFn)
+		e.push(e.now, procResumePtr, unsafe.Pointer(p))
 	}
 }
 

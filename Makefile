@@ -41,7 +41,10 @@ lint:
 # cold run that filled it — with the warm run simulating nothing (the
 # "[0-9]* simulated" provenance line comes from the run counter).
 # The tapered-fabric scenario gets the same serial-vs-parallel gate:
-# fabric link contention must not perturb deterministic reassembly.
+# fabric link contention must not perturb deterministic reassembly —
+# and -shards 4 layered on top must still reproduce the serial bytes
+# (a no-op on the per-GPU engine, the real thing on jacobi-exascale,
+# whose runs partition across the conservative pdes shards).
 sweep-smoke:
 	@$(GO) build -o /tmp/gat-sweep ./cmd/sweep
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 1 > /tmp/gat-sweep-serial.txt
@@ -50,6 +53,11 @@ sweep-smoke:
 	@/tmp/gat-sweep -scenario jacobi-taper -maxnodes 36 -iters 2 -warmup 1 -j 1 > /tmp/gat-sweep-taper-serial.txt
 	@/tmp/gat-sweep -scenario jacobi-taper -maxnodes 36 -iters 2 -warmup 1 -j 4 > /tmp/gat-sweep-taper-parallel.txt
 	@cmp /tmp/gat-sweep-taper-serial.txt /tmp/gat-sweep-taper-parallel.txt
+	@/tmp/gat-sweep -scenario jacobi-taper -maxnodes 36 -iters 2 -warmup 1 -j 4 -shards 4 > /tmp/gat-sweep-taper-sharded.txt
+	@cmp /tmp/gat-sweep-taper-serial.txt /tmp/gat-sweep-taper-sharded.txt
+	@/tmp/gat-sweep -scenario jacobi-exascale -maxnodes 1024 -iters 2 -warmup 1 -j 1 > /tmp/gat-sweep-exa-serial.txt
+	@/tmp/gat-sweep -scenario jacobi-exascale -maxnodes 1024 -iters 2 -warmup 1 -j 4 -shards 4 > /tmp/gat-sweep-exa-sharded.txt
+	@cmp /tmp/gat-sweep-exa-serial.txt /tmp/gat-sweep-exa-sharded.txt
 	@rm -rf /tmp/gat-sweep-cache
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -cache-dir /tmp/gat-sweep-cache > /tmp/gat-sweep-cold.txt
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -cache-dir /tmp/gat-sweep-cache -v \
@@ -59,7 +67,7 @@ sweep-smoke:
 	@grep -Eq "\([0-9]+ runs: 0 simulated, [0-9]+ from store, 0 resumed\)" /tmp/gat-sweep-warm-log.txt || \
 		{ echo "sweep-smoke: warm cache run still simulated:"; tail -1 /tmp/gat-sweep-warm-log.txt; exit 1; }
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -cache-dir /tmp/gat-sweep-cache -json > $(SMOKE_OUT)/sweep-smoke.json
-	@echo "sweep-smoke: parallel and warm-cache output byte-identical to serial; warm run simulated 0 runs"
+	@echo "sweep-smoke: parallel, sharded and warm-cache output byte-identical to serial; warm run simulated 0 runs"
 
 # Scenario registry smoke: the registry must list (with the topology
 # column), a non-Summit, non-Jacobi composition must run end to end,
@@ -92,14 +100,15 @@ bench-queue:
 
 # Engine hot-path benchmarks, recorded into the gat-bench-v1 trajectory
 # file. BENCH_LABEL selects the slot to (re)record; the committed
-# BENCH_PR7.json is the current reference (BENCH_PR2.json stays as the
-# heap-era trajectory), so the default refreshes "after" and prints the
-# delta table. -count=6 interleaves full suite repetitions, so each
-# benchmark's median spans the whole run rather than one hot stretch;
-# -timeout=0 drops the test framework's watchdog timer, whose periodic
-# host-clock reads otherwise tax every goroutine switch — the sweep
-# binaries run without one, so benchmarks should too.
-BENCH_PATTERN := 'BenchmarkZeroDelayLane|BenchmarkSignalFanout|BenchmarkProcPingPong|BenchmarkJacobiStep|BenchmarkEventQueue'
+# BENCH_PR8.json is the current reference (BENCH_PR2.json stays as the
+# heap-era trajectory, BENCH_PR7.json as the pre-pdes one), so the
+# default refreshes "after" and prints the delta table. -count=6
+# interleaves full suite repetitions, so each benchmark's median spans
+# the whole run rather than one hot stretch; -timeout=0 drops the test
+# framework's watchdog timer, whose periodic host-clock reads otherwise
+# tax every goroutine switch — the sweep binaries run without one, so
+# benchmarks should too.
+BENCH_PATTERN := 'BenchmarkZeroDelayLane|BenchmarkSignalFanout|BenchmarkProcPingPong|BenchmarkJacobiStep|BenchmarkEventQueue|BenchmarkPDESWindowMerge'
 BENCH_LABEL ?= after
 # The bench output lands in a temp file first so a mid-run benchmark
 # failure aborts before benchjson can overwrite the trajectory file
@@ -107,7 +116,7 @@ BENCH_LABEL ?= after
 bench:
 	@$(GO) build -o /tmp/gat-benchjson ./cmd/benchjson
 	$(GO) test -run xxx -bench $(BENCH_PATTERN) -benchmem -count=6 -timeout=0 . > /tmp/gat-bench-out.txt
-	/tmp/gat-benchjson -label $(BENCH_LABEL) -out BENCH_PR7.json -in /tmp/gat-bench-out.txt
+	/tmp/gat-benchjson -label $(BENCH_LABEL) -out BENCH_PR8.json -in /tmp/gat-bench-out.txt
 
 # Bench regression gate: re-measure the headline hot-path benchmarks
 # (medians over -count=3) and fail when any is >25% slower than the
@@ -122,9 +131,9 @@ bench:
 # `make bench` when the reference host changes.
 bench-check:
 	@$(GO) build -o /tmp/gat-benchjson ./cmd/benchjson
-	$(GO) test -run xxx -bench 'BenchmarkJacobiStep$$|BenchmarkZeroDelayLane$$|BenchmarkEventQueue/depth16k$$|BenchmarkEventQueueHeap4/depth16k$$' -benchmem -count=3 -timeout=0 . > /tmp/gat-bench-check.txt
-	/tmp/gat-benchjson -in /tmp/gat-bench-check.txt -check BENCH_PR7.json -against after \
-		-require BenchmarkJacobiStep,BenchmarkZeroDelayLane,BenchmarkEventQueue/depth16k,BenchmarkEventQueueHeap4/depth16k -max-regress 25
+	$(GO) test -run xxx -bench 'BenchmarkJacobiStep$$|BenchmarkJacobiStepSharded$$|BenchmarkZeroDelayLane$$|BenchmarkEventQueue/depth16k$$|BenchmarkEventQueueHeap4/depth16k$$|BenchmarkPDESWindowMerge$$' -benchmem -count=3 -timeout=0 . > /tmp/gat-bench-check.txt
+	/tmp/gat-benchjson -in /tmp/gat-bench-check.txt -check BENCH_PR8.json -against after \
+		-require BenchmarkJacobiStep,BenchmarkJacobiStepSharded,BenchmarkZeroDelayLane,BenchmarkEventQueue/depth16k,BenchmarkEventQueueHeap4/depth16k,BenchmarkPDESWindowMerge -max-regress 25
 
 # claims-smoke is not part of check: CI runs it as its own job, and
 # doubling it into the matrix legs would just re-run identical work.

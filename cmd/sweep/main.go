@@ -14,6 +14,7 @@
 //	sweep -scenario minimd-lb -j 4 -v       # a non-paper scenario
 //	sweep -scenario fig7b -machine frontier # same experiment, other machine
 //	sweep -scenario scaling -app minimd -machine perlmutter
+//	sweep -scenario jacobi-exascale -shards 4 # parallel-in-run (same bytes)
 //	sweep -fig all -json                    # gat-sweep-v3 JSON report
 //
 // Incremental sweeps: every run is content-addressed (a fingerprint
@@ -53,6 +54,7 @@ func main() {
 	iters := flag.Int("iters", 0, "timed iterations per run (0 = default 10)")
 	warmup := flag.Int("warmup", 0, "warm-up iterations per run (0 = default 3)")
 	jitter := flag.Float64("jitter", 0, "network latency jitter fraction (0 = exactly deterministic; seeded per run)")
+	shards := flag.Int("shards", 1, "parallel-in-run engine shards for scenarios that support them (byte-identical output at any value)")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulation runs (default: all CPUs)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit a JSON report with per-run provenance (gat-sweep-v3)")
@@ -70,6 +72,12 @@ func main() {
 	if *jitter < 0 || *jitter >= 1 {
 		fatalf("bad -jitter %g: want a fraction in [0,1)", *jitter)
 	}
+	if *shards < 1 {
+		fatalf("bad -shards %d: want at least 1", *shards)
+	}
+	if *shards > 1 && *jitter > 0 {
+		fatalf("-shards %d is incompatible with -jitter: the jitter RNG stream is not partitioned across shards, so sharded jittered runs would not reproduce serial ones; drop one of the two flags", *shards)
+	}
 	if *machineName != "" {
 		if _, err := machine.ProfileByName(*machineName); err != nil {
 			fatalf("%v", err)
@@ -78,11 +86,14 @@ func main() {
 
 	opt := sweep.Options{
 		Workers:   *jobs,
-		Bench:     bench.Options{MaxNodes: *maxNodes, Iters: *iters, Warmup: *warmup, Jitter: *jitter},
+		Bench:     bench.Options{MaxNodes: *maxNodes, Iters: *iters, Warmup: *warmup, Jitter: *jitter, Shards: *shards},
 		Overrides: bench.Overrides{Machine: *machineName, App: *appName},
 	}
 	if *verbose {
 		opt.Progress = os.Stderr
+		if *shards > 1 {
+			fmt.Fprintf(os.Stderr, "sweep: parallel-in-run shards: %d\n", *shards)
+		}
 	}
 	if *cacheDir != "" {
 		*cache = true

@@ -25,8 +25,8 @@
 //
 //	go test -run xxx -bench . -benchmem
 //
-// make bench records their trajectory into BENCH_PR7.json (BENCH_PR2.json
-// is kept in-tree as the PR 2 reference point).
+// make bench records their trajectory into BENCH_PR8.json (BENCH_PR2.json
+// and BENCH_PR7.json are kept in-tree as earlier reference points).
 package gat
 
 import (

@@ -54,6 +54,7 @@ func TestEngineScopeCoverage(t *testing.T) {
 	}
 	engine := []string{
 		"gat/internal/sim",
+		"gat/internal/pdes",
 		"gat/internal/netsim",
 		"gat/internal/gpu",
 		"gat/internal/mpi",

@@ -37,6 +37,7 @@ var Analyzer = &analysis.Analyzer{
 		"where only virtual sim time is legal; annotate genuine wall-time sites //gat:nondet-ok <reason>",
 	Scope: []string{
 		"gat/internal/sim",
+		"gat/internal/pdes",
 		"gat/internal/netsim",
 		"gat/internal/gpu",
 		"gat/internal/mpi",

@@ -31,6 +31,12 @@ type Options struct {
 	// by up to this fraction, seeded per run from the RunSpec seed.
 	// Zero (the default) keeps the cost model exactly deterministic.
 	Jitter float64
+	// Shards is the conservative-PDES shard count for parallel-in-run
+	// execution (internal/pdes); <= 1 runs serially. Scenarios that
+	// support it (Cell.Shards) produce byte-identical output at any
+	// value, so Shards is a runtime knob, not a result parameter — it
+	// deliberately stays out of RunSpec and the run fingerprint.
+	Shards int
 	// Verbose, if non-nil, receives progress lines.
 	Verbose io.Writer
 }

@@ -146,13 +146,41 @@ func (c *Cell) NewMachine() *machine.Machine {
 // config is validated by machine.MustNew, so an impossible mutation
 // fails loudly at the cell, not deep in a run.
 func (c *Cell) NewMachineWith(mutate func(*machine.Config)) *machine.Machine {
-	cfg := c.profile.Build(c.Nodes)
-	cfg.Net.JitterFrac = c.opt.Jitter
-	cfg.Net.JitterSeed = c.Seed
+	cfg := c.Config()
 	if mutate != nil {
 		mutate(&cfg)
 	}
 	return machine.MustNew(cfg)
+}
+
+// Config builds the cell's machine configuration — profile at the
+// cell's node count, jitter wired — without instantiating the cluster.
+// Cells that consume the configuration as a cost model only (the
+// LP-level exascale runs, which never build per-node NICs and GPUs)
+// use this instead of NewMachine.
+func (c *Cell) Config() machine.Config {
+	cfg := c.profile.Build(c.Nodes)
+	cfg.Net.JitterFrac = c.opt.Jitter
+	cfg.Net.JitterSeed = c.Seed
+	return cfg
+}
+
+// Shards returns the sweep's parallel-in-run shard count, always >= 1.
+// Cells that honor it must produce identical points at every value
+// (the pdes layer guarantees this for LP-model runs); it never enters
+// the run fingerprint.
+func (c *Cell) Shards() int {
+	if c.opt.Shards > 1 {
+		return c.opt.Shards
+	}
+	return 1
+}
+
+// Iterations returns the sweep's warmup/iters overrides, zero meaning
+// "use the workload's default". App-backed cells get this resolution
+// through Run; app-less cells consult it directly.
+func (c *Cell) Iterations() (warmup, iters int) {
+	return c.opt.Warmup, c.opt.Iters
 }
 
 // App returns the resolved application, or nil for app-less scenarios.

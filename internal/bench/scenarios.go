@@ -29,6 +29,7 @@ func registerExtraScenarios() {
 	// The dragonfly profiles group 16 nodes per router group, so the
 	// axis must reach 32 for any transfer to cross a global link.
 	RegisterScenario(minimdLBScenario("minimd-dragonfly", "frontier-dragonfly", 32))
+	RegisterScenario(jacobiExascaleScenario())
 }
 
 // congested copies the run's fabric-link congestion summary onto its
@@ -160,6 +161,43 @@ func minimdTaperScenario() *Scenario {
 				c.Progress("t=%v net=%.0f%%", r.TimePerIter, 100*r.MaxLinkUtil)
 				return congested(Point{Nodes: c.X, Value: ms(r.TimePerIter)}, r)
 			}},
+		},
+	}
+}
+
+// jacobiExascaleScenario weak-scales the Jacobi3D LP model (see
+// jacobi.RunExa) to exascale node counts on the dragonfly profile —
+// far past what the full per-GPU simulation sweeps reach. It is the
+// first app-less scenario: the machine config is consumed as a cost
+// model only, and the cell honors the sweep's -shards knob, running
+// the point on the conservative parallel-in-run engine with
+// byte-identical output at any shard count (the pdes guarantee; the
+// partition diagnostics go to progress lines, never into the point).
+func jacobiExascaleScenario() *Scenario {
+	cell := func(overlap bool) CellFn {
+		return func(c *Cell) Point {
+			wu, it := c.Iterations()
+			r := jacobi.RunExa(c.Config(), jacobi.Config{
+				Global: jacobi.WeakGlobal([3]int{192, 192, 192}, c.Nodes),
+				Warmup: wu, Iters: it,
+			}, jacobi.ExaOpts{Shards: c.Shards(), Overlap: overlap})
+			c.Progress("t=%v shards=%d windows=%d cross=%d",
+				r.TimePerIter, r.Shards, r.Windows, r.CrossMessages)
+			return Point{Nodes: c.Nodes, Value: us(r.TimePerIter)}
+		}
+	}
+	return &Scenario{
+		Name:  "jacobi-exascale",
+		Title: "Jacobi3D LP model weak scaling 192^3/node, perlmutter-dragonfly",
+		App:   "", Machine: "perlmutter-dragonfly", Kind: KindExtra,
+		// Version covers the LP cost model's fixed problem base and
+		// schedule constants embedded in the cell.
+		Version: 1,
+		XLabel:  "nodes", YLabel: "time/iter (us)",
+		Axis: nodeAxis(1024, 16384),
+		Series: []SeriesDef{
+			{"Blocking", cell(false)},
+			{"Overlap", cell(true)},
 		},
 	}
 }

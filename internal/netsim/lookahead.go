@@ -1,0 +1,77 @@
+package netsim
+
+import "gat/internal/sim"
+
+// This file is the lookahead seam of the conservative PDES layer
+// (internal/pdes): static queries over the cost model and topology that
+// need no instantiated Network — an exascale-scale LP partition derives
+// its window bound from the configuration alone, without building one
+// NIC pipe per node.
+
+// PathLatency returns the deterministic (jitter-free) one-way wire
+// latency between nodes a and b under the α–β model: the intra-node
+// path at 0 hops, LatencyBase + (hops-1)·LatencyPerHop otherwise.
+// Network.Latency computes the same value (plus the jitter draw when
+// enabled) for instantiated networks.
+func PathLatency(cfg Config, topo Topology, a, b int) sim.Time {
+	h := topo.Hops(a, b)
+	if h == 0 {
+		return cfg.IntraNodeLatency
+	}
+	return cfg.LatencyBase + sim.Time(h-1)*cfg.LatencyPerHop
+}
+
+// MinCrossLatency returns the smallest one-way wire latency between any
+// two of the nodes that a partition places on different shards — the
+// conservative lookahead bound: no cross-shard interaction can take
+// effect sooner than this after it is sent. It returns 0 when no pair
+// of nodes crosses shards (a single shard, or fewer nodes than shards'
+// worth of groups), which callers must treat as "no lookahead window"
+// rather than a zero-width one.
+//
+// The scan is O(nodes): both built-in geometries price every same-group
+// pair alike and every cross-group pair alike (CrossGroupHops), so the
+// minimum is decided by whether the partition splits a group, not by
+// which pair it splits.
+func MinCrossLatency(cfg Config, topo Topology, nodes int, shardOf func(node int) int) sim.Time {
+	if nodes < 2 || shardOf == nil {
+		return 0
+	}
+	multi := false
+	splitA, splitB := -1, -1
+	groupShard := map[int]int{}
+	groupNode := map[int]int{}
+	first := shardOf(0)
+	for n := 0; n < nodes; n++ {
+		s := shardOf(n)
+		if s != first {
+			multi = true
+		}
+		g := topo.Group(n)
+		if prev, ok := groupShard[g]; ok {
+			if prev != s && splitA < 0 {
+				splitA, splitB = groupNode[g], n
+			}
+		} else {
+			groupShard[g] = s
+			groupNode[g] = n
+		}
+	}
+	if !multi {
+		return 0
+	}
+	if splitA >= 0 {
+		// A group is split across shards: the in-group (or worse, the
+		// intra-node) path is the binding latency.
+		return PathLatency(cfg, topo, splitA, splitB)
+	}
+	// Group-aligned partition: every cross-shard pair is cross-group.
+	h := topo.CrossGroupHops()
+	return cfg.LatencyBase + sim.Time(h-1)*cfg.LatencyPerHop
+}
+
+// MinCrossLatency is the instantiated-network form of the package-level
+// query, over this network's cost model, topology and node count.
+func (n *Network) MinCrossLatency(shardOf func(node int) int) sim.Time {
+	return MinCrossLatency(n.cfg, n.topo, len(n.nics), shardOf)
+}

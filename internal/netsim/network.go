@@ -201,15 +201,11 @@ func (n *Network) ResetOps() {
 func (n *Network) Hops(a, b int) int { return n.topo.Hops(a, b) }
 
 // Latency returns the one-way wire latency between two nodes,
-// including jitter when enabled.
+// including jitter when enabled. The deterministic base is the shared
+// PathLatency model, so the PDES lookahead derivation prices routes
+// exactly as instantiated transfers do.
 func (n *Network) Latency(a, b int) sim.Time {
-	h := n.Hops(a, b)
-	var base sim.Time
-	if h == 0 {
-		base = n.cfg.IntraNodeLatency
-	} else {
-		base = n.cfg.LatencyBase + sim.Time(h-1)*n.cfg.LatencyPerHop
-	}
+	base := PathLatency(n.cfg, n.topo, a, b)
 	if n.rng != nil {
 		return n.rng.Jitter(base, n.cfg.JitterFrac)
 	}

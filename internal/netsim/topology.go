@@ -23,6 +23,12 @@ type Topology interface {
 	// Group returns the switch group of a node: the leaf pod of a fat
 	// tree, the router group of a dragonfly.
 	Group(node int) int
+	// CrossGroupHops returns the switch hop count of the minimal route
+	// between nodes in different groups — the geometry's largest (and,
+	// between groups, only) hop distance. It bounds cross-group wire
+	// latency from below without enumerating node pairs, which is what
+	// the conservative-PDES lookahead derivation needs (MinCrossLatency).
+	CrossGroupHops() int
 
 	// groupLabel prefixes fabric link names ("pod" / "grp").
 	groupLabel() string
@@ -57,9 +63,10 @@ func TopologyByName(name string, groupSize int) (Topology, error) {
 // 4 across pods (node-leaf-spine-leaf-node).
 type fatTree struct{ groupSize int }
 
-func (t fatTree) Name() string       { return TopoFatTree }
-func (t fatTree) groupLabel() string { return "pod" }
-func (t fatTree) Group(node int) int { return node / t.groupSize }
+func (t fatTree) Name() string        { return TopoFatTree }
+func (t fatTree) groupLabel() string  { return "pod" }
+func (t fatTree) Group(node int) int  { return node / t.groupSize }
+func (t fatTree) CrossGroupHops() int { return 4 }
 
 func (t fatTree) Hops(a, b int) int {
 	switch {
@@ -79,9 +86,10 @@ func (t fatTree) Hops(a, b int) int {
 // in-group path).
 type dragonfly struct{ groupSize int }
 
-func (t dragonfly) Name() string       { return TopoDragonfly }
-func (t dragonfly) groupLabel() string { return "grp" }
-func (t dragonfly) Group(node int) int { return node / t.groupSize }
+func (t dragonfly) Name() string        { return TopoDragonfly }
+func (t dragonfly) groupLabel() string  { return "grp" }
+func (t dragonfly) Group(node int) int  { return node / t.groupSize }
+func (t dragonfly) CrossGroupHops() int { return 3 }
 
 func (t dragonfly) Hops(a, b int) int {
 	switch {

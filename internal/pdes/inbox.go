@@ -1,0 +1,142 @@
+package pdes
+
+import (
+	"unsafe"
+
+	"gat/internal/sim"
+)
+
+// lpBox is one LP's inbox: a binary min-heap of undelivered messages
+// ordered by the partition-independent (At, Src, Seq) key, plus the
+// LP's send counter. A box is owned by its LP's shard while a window
+// runs; the coordinator pushes into it only between windows.
+type lpBox struct {
+	sh      *shard
+	lp      int32
+	sendSeq uint64
+	heap    []Message
+}
+
+// ptr returns the box as the untyped event argument drainBox receives.
+func (b *lpBox) ptr() unsafe.Pointer { return unsafe.Pointer(b) }
+
+// msgLess orders messages by (At, Src, Seq) — delivery order. The key
+// is total: Seq increments per source, so no two messages from one
+// source collide, and distinct sources differ in Src.
+//
+//gat:hotpath
+func msgLess(a, b Message) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Seq < b.Seq
+}
+
+// push inserts m, sifting up.
+//
+//gat:hotpath
+func (b *lpBox) push(m Message) {
+	q := append(b.heap, m)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !msgLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	b.heap = q
+}
+
+// popMin removes and returns the earliest message.
+//
+//gat:hotpath
+func (b *lpBox) popMin() Message {
+	q := b.heap
+	min := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = Message{}
+	b.heap = q[:n]
+	siftDownMsg(b.heap, 0, n)
+	return min
+}
+
+// siftDownMsg restores the min-heap property below index i over m[:n].
+//
+//gat:hotpath
+func siftDownMsg(m []Message, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && msgLess(m[c+1], m[c]) {
+			c++
+		}
+		if !msgLess(m[c], m[i]) {
+			return
+		}
+		m[i], m[c] = m[c], m[i]
+		i = c
+	}
+}
+
+// sortMsgs orders msgs ascending by (At, Src, Seq) with an in-place
+// heapsort: no allocation, no comparator closure (this runs on the
+// barrier merge path), and determinism for free since the key is
+// total.
+//
+//gat:hotpath
+func sortMsgs(msgs []Message) {
+	n := len(msgs)
+	// Max-heapify under the inverted comparison, then repeatedly swap
+	// the maximum to the tail.
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownMsgMax(msgs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		msgs[0], msgs[i] = msgs[i], msgs[0]
+		siftDownMsgMax(msgs, 0, i)
+	}
+}
+
+// siftDownMsgMax is siftDownMsg under the inverted order (max-heap),
+// for sortMsgs.
+//
+//gat:hotpath
+func siftDownMsgMax(m []Message, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && msgLess(m[c], m[c+1]) {
+			c++
+		}
+		if !msgLess(m[i], m[c]) {
+			return
+		}
+		m[i], m[c] = m[c], m[i]
+		i = c
+	}
+}
+
+// drainBox is the anonymous delivery event: pop the inbox minimum and
+// hand it to the handler. One drain is scheduled per pushed message,
+// but a drain does not name "its" message — the pop decides, which is
+// what makes per-LP delivery order partition-independent (see the
+// package comment).
+//
+//gat:hotpath
+func drainBox(_ *sim.Engine, arg unsafe.Pointer) {
+	b := (*lpBox)(arg)
+	m := b.popMin()
+	sh := b.sh
+	sh.ctx.box = b
+	sh.r.handler(&sh.ctx, m)
+}

@@ -1,0 +1,391 @@
+// Package pdes is the conservative parallel-in-run layer: one
+// simulated run partitioned across K shards, each owning a private
+// sim.Engine, advancing together through bounded lookahead windows —
+// with results byte-identical to serial execution at any K.
+//
+// # Model
+//
+// The unit of partitioning is the logical process (LP): a node, a
+// process, anything that owns its state and interacts with other LPs
+// only through timestamped messages. Each LP belongs to one shard.
+// A message to an LP on the same shard is scheduled directly on the
+// shard's engine; a message to another shard is buffered in the
+// sender's outbox and exchanged at the next window barrier.
+//
+// The window bound comes from conservative lookahead: if every
+// cross-shard message sent at time t arrives no earlier than
+// t + lookahead, then all shards can safely advance from the global
+// next-event time `next` to just before next + lookahead without any
+// of them receiving a message from the "past". For the cluster
+// topologies in internal/netsim that lookahead is the minimum
+// cross-shard wire latency (netsim.MinCrossLatency).
+//
+// # Determinism
+//
+// Serial/sharded byte-identity does not come for free from the
+// engines' (time, seq) order — engine sequence numbers differ across
+// partitions. It comes from a delivery discipline this package
+// enforces:
+//
+//   - Every message lands in the destination LP's inbox, a min-heap
+//     ordered by (At, Src, Seq) where Seq is a per-source send counter.
+//     The (Src, Seq) pair is partition-independent.
+//   - Delivery events are anonymous: each pops the inbox minimum,
+//     rather than carrying a specific message. Since inter-LP messages
+//     must be sent at least 1ns before they arrive (Send enforces it),
+//     every message for time T is in the inbox before the first
+//     delivery at T pops — so the pop sequence each LP observes depends
+//     only on the partition-independent message set, never on engine
+//     scheduling order.
+//   - Cross-shard messages are merged at the barrier in sorted
+//     (At, Src, Seq) order before injection, so even their engine
+//     sequence numbers are assigned deterministically.
+//
+// A Handler must therefore be a deterministic function of its own LP's
+// state and the delivered message: LPs on one shard run concurrently
+// with LPs on other shards, so shared mutable state across LPs is both
+// a data race and a determinism bug.
+package pdes
+
+import (
+	"fmt"
+	"sync"
+
+	"gat/internal/sim"
+)
+
+// Message is one timestamped interaction between two logical
+// processes. Kind and Data carry the payload; protocols needing more
+// than one word index LP-local state with it.
+type Message struct {
+	// At is the delivery time at Dst.
+	At sim.Time
+	// Seq is the per-source send sequence — with Src, a
+	// partition-independent identity that breaks delivery ties.
+	Seq uint64
+	// Src and Dst are LP ids. Src == Dst for self-messages.
+	Src, Dst int32
+	// Kind discriminates the message for the handler.
+	Kind int32
+	// Data is one payload word.
+	Data int64
+}
+
+// Handler delivers one message to its destination LP. It runs on the
+// destination shard's goroutine and must touch only that LP's state
+// and the Ctx.
+type Handler func(ctx *Ctx, m Message)
+
+// Config describes a partitioned run.
+type Config struct {
+	// LPs is the number of logical processes, ids 0..LPs-1.
+	LPs int
+	// Shards is the requested shard count; it is clamped to [1, LPs].
+	Shards int
+	// Lookahead is the conservative bound: a cross-shard message sent
+	// at t may not be delivered before t + Lookahead. Zero means no
+	// cross-shard traffic is possible (Send panics on any), and windows
+	// are unbounded.
+	Lookahead sim.Time
+	// ShardOf maps an LP to its shard in [0, Shards). Nil assigns
+	// contiguous blocks of LPs.
+	ShardOf func(lp int) int
+	// Handler delivers every message.
+	Handler Handler
+}
+
+// shard is one partition: a private engine, the LPs it owns, and the
+// outbox its LPs' cross-shard sends accumulate during a window.
+type shard struct {
+	id     int32
+	r      *Runner
+	eng    *sim.Engine
+	outbox []Message
+	// ctx is the reusable handler context, so delivery allocates
+	// nothing per message.
+	ctx Ctx
+}
+
+// Runner coordinates one partitioned run.
+type Runner struct {
+	handler   Handler
+	lookahead sim.Time
+	shards    []*shard
+	lpShard   []int32
+	// boxes is the per-LP inbox array. Each element is owned by the
+	// shard of its LP while a window runs; the coordinator touches them
+	// only between windows.
+	boxes []lpBox
+	// pending holds cross-shard messages (and pre-run Posts) not yet
+	// deliverable: everything with At beyond the last window's bound.
+	pending   []Message
+	windows   uint64
+	crossMsgs uint64
+	started   bool
+}
+
+// unboundedLimit bounds a window when no lookahead applies (one shard,
+// or no cross-shard traffic possible).
+const unboundedLimit = sim.Time(1<<62 - 1)
+
+// New builds a Runner for the given partition. The configuration is
+// validated eagerly: a bad LP count, shard map or missing handler is a
+// programming error at the call site, not something to discover deep
+// into a window.
+func New(cfg Config) (*Runner, error) {
+	if cfg.LPs <= 0 {
+		return nil, fmt.Errorf("pdes: need at least one LP, got %d", cfg.LPs)
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("pdes: Config.Handler must be set")
+	}
+	if cfg.Lookahead < 0 {
+		return nil, fmt.Errorf("pdes: negative lookahead %v", cfg.Lookahead)
+	}
+	k := cfg.Shards
+	if k < 1 {
+		k = 1
+	}
+	if k > cfg.LPs {
+		k = cfg.LPs
+	}
+	shardOf := cfg.ShardOf
+	if shardOf == nil {
+		per := (cfg.LPs + k - 1) / k
+		shardOf = func(lp int) int { return lp / per }
+	}
+	r := &Runner{
+		handler:   cfg.Handler,
+		lookahead: cfg.Lookahead,
+		lpShard:   make([]int32, cfg.LPs),
+		boxes:     make([]lpBox, cfg.LPs),
+	}
+	for i := 0; i < k; i++ {
+		sh := &shard{id: int32(i), r: r, eng: sim.NewEngine()}
+		r.shards = append(r.shards, sh)
+	}
+	for lp := 0; lp < cfg.LPs; lp++ {
+		s := shardOf(lp)
+		if s < 0 || s >= k {
+			return nil, fmt.Errorf("pdes: ShardOf(%d) = %d, want [0,%d)", lp, s, k)
+		}
+		r.lpShard[lp] = int32(s)
+		r.boxes[lp] = lpBox{sh: r.shards[s], lp: int32(lp)}
+	}
+	return r, nil
+}
+
+// MustNew is New or panic, for callers whose configuration is static.
+func MustNew(cfg Config) *Runner {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Post enqueues an initial message for lp, delivered at absolute time
+// at. It may only be called before Run: seeding goes through the same
+// sorted merge as barrier traffic, so the injection order — and with
+// it the whole run — is independent of Post call order at equal
+// (at, lp) keys only when keys differ; equal keys order by call, like
+// consecutive sends from one source.
+func (r *Runner) Post(lp int, at sim.Time, kind int32, data int64) {
+	if r.started {
+		panic("pdes: Post after Run")
+	}
+	if lp < 0 || lp >= len(r.boxes) {
+		//gat:alloc-ok cold panic path
+		panic(fmt.Sprintf("pdes: Post to LP %d of %d", lp, len(r.boxes)))
+	}
+	if at < 0 {
+		//gat:alloc-ok cold panic path
+		panic(fmt.Sprintf("pdes: Post at negative time %v", at))
+	}
+	b := &r.boxes[lp]
+	b.sendSeq++
+	r.pending = append(r.pending, Message{
+		At: at, Src: int32(lp), Dst: int32(lp), Kind: kind, Seq: b.sendSeq, Data: data,
+	})
+}
+
+// Run advances every shard to quiescence: repeatedly place the next
+// lookahead window at the global minimum pending time, deliver every
+// already-exchanged message falling inside it, run all shard engines
+// concurrently to the window bound, then collect the outboxes at the
+// barrier. With one shard (or zero lookahead) the single window is
+// unbounded and Run degenerates to a plain serial drain.
+func (r *Runner) Run() {
+	r.started = true
+	for {
+		next, ok := r.nextTime()
+		if !ok {
+			return
+		}
+		limit := unboundedLimit
+		if r.lookahead > 0 && len(r.shards) > 1 {
+			// Window [next, next+lookahead): cross-shard messages sent
+			// inside it arrive at >= next + lookahead, beyond the bound
+			// — RunUntil is inclusive, hence the -1.
+			limit = next + r.lookahead - 1
+		}
+		r.deliver(limit)
+		r.runWindow(limit)
+		r.collect()
+		r.windows++
+	}
+}
+
+// nextTime returns the earliest pending instant across shard engines
+// and undelivered messages — the start of the next window.
+func (r *Runner) nextTime() (sim.Time, bool) {
+	var min sim.Time
+	ok := false
+	for _, sh := range r.shards {
+		if t, has := sh.eng.NextEventTime(); has && (!ok || t < min) {
+			min, ok = t, true
+		}
+	}
+	for i := range r.pending {
+		if t := r.pending[i].At; !ok || t < min {
+			min, ok = t, true
+		}
+	}
+	return min, ok
+}
+
+// deliver merges every pending message with At <= limit into its
+// destination shard: sorted by the partition-independent (At, Src,
+// Seq) key, then injected in that order so destination engine sequence
+// numbers are assigned deterministically. This is the barrier merge —
+// with Send's push, the hot path of the whole layer.
+//
+//gat:hotpath
+func (r *Runner) deliver(limit sim.Time) {
+	if len(r.pending) == 0 {
+		return
+	}
+	sortMsgs(r.pending)
+	n := 0
+	for n < len(r.pending) && r.pending[n].At <= limit {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		m := r.pending[i]
+		b := &r.boxes[m.Dst]
+		b.push(m)
+		b.sh.eng.InjectAt(m.At, drainBox, b.ptr())
+	}
+	r.crossMsgs += uint64(n)
+	rest := copy(r.pending, r.pending[n:])
+	r.pending = r.pending[:rest]
+}
+
+// runWindow advances every shard engine to the window bound. Shards
+// run on their own goroutines; the barrier (WaitGroup) orders their
+// memory against the coordinator's merge work on either side.
+func (r *Runner) runWindow(limit sim.Time) {
+	if len(r.shards) == 1 {
+		r.shards[0].eng.RunUntil(limit)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range r.shards {
+		sh := sh
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh.eng.RunUntil(limit)
+		}()
+	}
+	wg.Wait()
+}
+
+// collect drains every shard outbox into pending at the barrier.
+func (r *Runner) collect() {
+	for _, sh := range r.shards {
+		r.pending = append(r.pending, sh.outbox...)
+		sh.outbox = sh.outbox[:0]
+	}
+}
+
+// Stats summarizes a completed (or in-progress) run.
+type Stats struct {
+	// Shards is the effective shard count.
+	Shards int
+	// Windows is the number of lookahead windows executed.
+	Windows uint64
+	// CrossMessages counts messages merged at window barriers
+	// (cross-shard traffic plus pre-run Posts).
+	CrossMessages uint64
+	// Events is the total engine events executed across shards. It is
+	// partition-independent: one delivery event per message.
+	Events uint64
+}
+
+// Stats returns the run's execution summary. Windows and CrossMessages
+// vary with the partition; Events does not.
+func (r *Runner) Stats() Stats {
+	s := Stats{Shards: len(r.shards), Windows: r.windows, CrossMessages: r.crossMsgs}
+	for _, sh := range r.shards {
+		s.Events += sh.eng.EventsExecuted()
+	}
+	return s
+}
+
+// Ctx is the API a Handler interacts with the run through.
+type Ctx struct {
+	box *lpBox
+}
+
+// Now returns the LP's current simulation time.
+func (c *Ctx) Now() sim.Time { return c.box.sh.eng.Now() }
+
+// LP returns the id of the LP the message was delivered to.
+func (c *Ctx) LP() int { return int(c.box.lp) }
+
+// Send queues a message from the current LP to dst after delay.
+// Self-messages (dst == the current LP) may use any delay >= 0; a
+// message to another LP must use delay >= 1ns — that gap is what makes
+// delivery order partition-independent — and a message to another
+// shard must respect the configured lookahead.
+//
+//gat:hotpath
+func (c *Ctx) Send(dst int, delay sim.Time, kind int32, data int64) {
+	b := c.box
+	sh := b.sh
+	r := sh.r
+	if dst < 0 || dst >= len(r.boxes) {
+		//gat:alloc-ok cold panic path
+		panic(fmt.Sprintf("pdes: send to LP %d of %d", dst, len(r.boxes)))
+	}
+	if delay < 0 {
+		//gat:alloc-ok cold panic path
+		panic(fmt.Sprintf("pdes: negative send delay %v", delay))
+	}
+	src := b.lp
+	if int32(dst) != src && delay < sim.Nanosecond {
+		//gat:alloc-ok cold panic path
+		panic(fmt.Sprintf("pdes: zero-delay send %d->%d; inter-LP messages need delay >= 1ns", src, dst))
+	}
+	b.sendSeq++
+	m := Message{
+		At: sh.eng.Now() + delay, Src: src, Dst: int32(dst),
+		Kind: kind, Seq: b.sendSeq, Data: data,
+	}
+	if r.lpShard[dst] == sh.id {
+		db := &r.boxes[dst]
+		db.push(m)
+		sh.eng.InjectAt(m.At, drainBox, db.ptr())
+		return
+	}
+	if r.lookahead <= 0 {
+		//gat:alloc-ok cold panic path
+		panic(fmt.Sprintf("pdes: cross-shard send %d->%d with zero lookahead", src, dst))
+	}
+	if delay < r.lookahead {
+		//gat:alloc-ok cold panic path
+		panic(fmt.Sprintf("pdes: cross-shard send %d->%d with delay %v < lookahead %v", src, dst, delay, r.lookahead))
+	}
+	sh.outbox = append(sh.outbox, m)
+}

@@ -1,0 +1,188 @@
+package pdes
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gat/internal/sim"
+)
+
+// echoRun wires a tiny two-LP protocol: LP 0 sends a token to LP 1,
+// which bounces it back, for a fixed number of round trips.
+func echoRun(t *testing.T, shards int) (trace string, st Stats) {
+	t.Helper()
+	const la = 10 * sim.Nanosecond
+	// One log per LP: handlers may only touch their own LP's state
+	// (LPs on different shards run concurrently).
+	logs := make([][]string, 2)
+	r := MustNew(Config{
+		LPs: 2, Shards: shards, Lookahead: la,
+		Handler: func(ctx *Ctx, m Message) {
+			lp := ctx.LP()
+			logs[lp] = append(logs[lp], fmt.Sprintf("%d@%d from %d data %d", lp, ctx.Now(), m.Src, m.Data))
+			if m.Data > 0 {
+				ctx.Send(1-lp, la, 0, m.Data-1)
+			}
+		},
+	})
+	r.Post(0, 0, 0, 6)
+	r.Run()
+	return strings.Join(logs[0], "\n") + "\n---\n" + strings.Join(logs[1], "\n"), r.Stats()
+}
+
+// TestEchoAcrossShards checks the bounced token produces the exact
+// same per-LP delivery traces serial and sharded, and that the sharded
+// run really windowed (more than one barrier).
+func TestEchoAcrossShards(t *testing.T) {
+	serial, st1 := echoRun(t, 1)
+	if st1.Events != 7 {
+		t.Fatalf("serial echo delivered %d messages, want 7:\n%s", st1.Events, serial)
+	}
+	sharded, st2 := echoRun(t, 2)
+	if sharded != serial {
+		t.Fatalf("sharded trace differs:\n--- serial ---\n%s\n--- sharded ---\n%s", serial, sharded)
+	}
+	if st2.Shards != 2 || st2.Windows < 2 {
+		t.Fatalf("sharded run did not window: %+v", st2)
+	}
+	if st1.Events != st2.Events {
+		t.Fatalf("event count is partition-dependent: %d vs %d", st1.Events, st2.Events)
+	}
+	if st1.CrossMessages != 1 { // just the Post
+		t.Fatalf("serial run merged %d messages, want 1 (the Post)", st1.CrossMessages)
+	}
+}
+
+// TestShardsClamped: more shards than LPs degrade gracefully.
+func TestShardsClamped(t *testing.T) {
+	_, st := echoRun(t, 16)
+	if st.Shards != 2 {
+		t.Fatalf("shards not clamped to LP count: %d", st.Shards)
+	}
+}
+
+// TestSelfMessageZeroDelay checks a zero-delay self-send is allowed
+// and delivered in send order at the same instant, after the message
+// that triggered it.
+func TestSelfMessageZeroDelay(t *testing.T) {
+	var got []int64
+	r := MustNew(Config{
+		LPs: 1, Shards: 1,
+		Handler: func(ctx *Ctx, m Message) {
+			got = append(got, m.Data)
+			if m.Data < 3 {
+				ctx.Send(0, 0, 0, m.Data+1)
+			}
+		},
+	})
+	r.Post(0, 5, 0, 0)
+	r.Run()
+	want := []int64{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", got, want)
+		}
+	}
+}
+
+// sendPanics runs one Post-then-send protocol and reports whether the
+// handler's send panicked. Only the seeding message (kind 0) triggers
+// the send under test; whatever it delivers (kind 1) is inert, so a
+// legal send terminates instead of ringing forever.
+func sendPanics(cfg Config, send func(ctx *Ctx)) (panicked bool) {
+	cfg.Handler = func(ctx *Ctx, m Message) {
+		if m.Kind != 0 {
+			return
+		}
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		send(ctx)
+	}
+	r := MustNew(cfg)
+	r.Post(0, 0, 0, 0)
+	r.Run()
+	return panicked
+}
+
+// TestSendContracts checks the delivery-order preconditions fail
+// loudly: zero-delay inter-LP sends, cross-shard sends under the
+// lookahead, and cross-shard sends with no lookahead at all.
+func TestSendContracts(t *testing.T) {
+	if !sendPanics(Config{LPs: 2, Shards: 1, Lookahead: 10},
+		func(ctx *Ctx) { ctx.Send(1, 0, 1, 0) }) {
+		t.Error("zero-delay inter-LP send did not panic")
+	}
+	if !sendPanics(Config{LPs: 2, Shards: 2, Lookahead: 10},
+		func(ctx *Ctx) { ctx.Send(1, 5, 1, 0) }) {
+		t.Error("cross-shard send below the lookahead did not panic")
+	}
+	if !sendPanics(Config{LPs: 2, Shards: 2},
+		func(ctx *Ctx) { ctx.Send(1, 100, 1, 0) }) {
+		t.Error("cross-shard send with zero lookahead did not panic")
+	}
+	if sendPanics(Config{LPs: 2, Shards: 2, Lookahead: 10},
+		func(ctx *Ctx) { ctx.Send(1, 10, 1, 0) }) {
+		t.Error("legal cross-shard send at exactly the lookahead panicked")
+	}
+}
+
+// TestConfigErrors checks New's validation.
+func TestConfigErrors(t *testing.T) {
+	h := func(*Ctx, Message) {}
+	for _, cfg := range []Config{
+		{LPs: 0, Handler: h},
+		{LPs: 4},
+		{LPs: 4, Handler: h, Lookahead: -1},
+		{LPs: 4, Shards: 2, Handler: h, ShardOf: func(int) int { return 7 }},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+// TestPostAfterRun checks late seeding panics.
+func TestPostAfterRun(t *testing.T) {
+	r := MustNew(Config{LPs: 1, Handler: func(*Ctx, Message) {}})
+	r.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Post after Run did not panic")
+		}
+	}()
+	r.Post(0, 0, 0, 0)
+}
+
+// TestSortMsgs pins the merge order on a shuffled batch with ties in
+// every key position.
+func TestSortMsgs(t *testing.T) {
+	msgs := []Message{
+		{At: 5, Src: 1, Seq: 2},
+		{At: 3, Src: 9, Seq: 1},
+		{At: 5, Src: 0, Seq: 7},
+		{At: 5, Src: 1, Seq: 1},
+		{At: 3, Src: 2, Seq: 4},
+		{At: 9, Src: 0, Seq: 1},
+	}
+	sortMsgs(msgs)
+	want := []Message{
+		{At: 3, Src: 2, Seq: 4},
+		{At: 3, Src: 9, Seq: 1},
+		{At: 5, Src: 0, Seq: 7},
+		{At: 5, Src: 1, Seq: 1},
+		{At: 5, Src: 1, Seq: 2},
+		{At: 9, Src: 0, Seq: 1},
+	}
+	for i := range want {
+		if msgs[i] != want[i] {
+			t.Fatalf("sortMsgs[%d] = %+v, want %+v", i, msgs[i], want[i])
+		}
+	}
+}

@@ -438,6 +438,36 @@ func (e *Engine) drive(self *Proc) {
 	}
 }
 
+// InjectAt schedules a statically dispatched (fn, arg) pair at absolute
+// time t — the cross-engine injection seam of the conservative PDES
+// layer (internal/pdes). A coordinator that owns several parked engines
+// calls it between lookahead windows to deliver merged cross-shard
+// messages; sequence numbers are assigned in call order, so injecting a
+// batch in sorted (time, source, sequence) order makes the receiving
+// engine's execution order independent of how the batch was produced.
+// Like every scheduling entry point it must only be called while the
+// engine is not running (or from within one of its own events), and t
+// must not be in the past.
+//
+//gat:hotpath
+func (e *Engine) InjectAt(t Time, fn ArgFunc, arg unsafe.Pointer) {
+	e.push(t, argFnToPtr(fn), arg)
+}
+
+// NextEventTime returns the timestamp of the earliest pending event and
+// whether one exists. It is the window-bound query of the conservative
+// PDES layer: the coordinator takes the minimum across shards to place
+// the next lookahead window. Lane events carry the current time.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if e.lane.n > 0 {
+		return e.now, true
+	}
+	if e.timed.n > 0 {
+		return e.timed.head.at, true
+	}
+	return 0, false
+}
+
 // Step executes the single earliest pending event, advancing the clock
 // to its timestamp. It reports whether an event ran. Useful for
 // lock-step debugging and for benchmarking the event loop itself.

@@ -79,7 +79,10 @@ func diffLine(a, b []byte) int {
 }
 
 // TestGoldenBackCompat replays the pre-redesign golden sweeps through
-// the scenario registry, serially and with 4 workers.
+// the scenario registry, serially and with 4 workers, and at several
+// parallel-in-run shard counts — the paper-figure scenarios run on the
+// full per-GPU engine, which Shards does not partition, so the knob
+// must be a no-op on their bytes.
 func TestGoldenBackCompat(t *testing.T) {
 	cases := []struct {
 		golden string
@@ -97,11 +100,15 @@ func TestGoldenBackCompat(t *testing.T) {
 		t.Run(c.golden, func(t *testing.T) {
 			want := goldenBytes(t, c.golden)
 			ids := kindIDs(t, c.kind)
-			for _, workers := range []int{1, 4} {
-				got := sweepBytes(t, ids, c.opt, workers, c.csv)
+			for _, run := range []struct{ workers, shards int }{
+				{1, 1}, {4, 1}, {1, 2}, {4, 4},
+			} {
+				opt := c.opt
+				opt.Shards = run.shards
+				got := sweepBytes(t, ids, opt, run.workers, c.csv)
 				if !bytes.Equal(got, want) {
-					t.Fatalf("workers=%d: output differs from pre-redesign golden at line %d\n--- got ---\n%s",
-						workers, diffLine(got, want), got)
+					t.Fatalf("workers=%d shards=%d: output differs from pre-redesign golden at line %d\n--- got ---\n%s",
+						run.workers, run.shards, diffLine(got, want), got)
 				}
 			}
 		})

@@ -1,0 +1,38 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"gat/internal/bench"
+)
+
+// TestExascaleShardedEquality is the sweep-level half of the
+// parallel-in-run guarantee: the jacobi-exascale scenario — the one
+// registered scenario that actually partitions its runs across pdes
+// shards — must emit byte-identical tables and CSV at -shards 1, 2
+// and 4, with the worker pool layered on top. The engine-level halves
+// live in internal/pdes and internal/jacobi; this catches any
+// shard-dependent state leaking through the bench cell into figure
+// bytes (a Meta field, a reordered point).
+func TestExascaleShardedEquality(t *testing.T) {
+	ids := []string{"jacobi-exascale"}
+	opt := bench.Options{MaxNodes: 1024, Iters: 2, Warmup: 1}
+	for _, csv := range []bool{false, true} {
+		serial := sweepBytes(t, ids, opt, 1, csv)
+		if len(serial) == 0 {
+			t.Fatal("exascale scenario produced no output")
+		}
+		for _, shards := range []int{2, 4} {
+			sOpt := opt
+			sOpt.Shards = shards
+			for _, workers := range []int{1, 4} {
+				got := sweepBytes(t, ids, sOpt, workers, csv)
+				if !bytes.Equal(serial, got) {
+					t.Fatalf("csv=%v shards=%d workers=%d: output differs from serial at line %d\n--- serial ---\n%s\n--- sharded ---\n%s",
+						csv, shards, workers, diffLine(serial, got), serial, got)
+				}
+			}
+		}
+	}
+}

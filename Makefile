@@ -6,7 +6,7 @@ GO ?= go
 # points this at a workspace directory and uploads it as an artifact.
 SMOKE_OUT ?= /tmp
 
-.PHONY: all build test vet fmt-check lint check sweep-smoke scenario-smoke claims-smoke bench-queue bench bench-check
+.PHONY: all build test vet fmt-check lint check sweep-smoke sweepd-smoke scenario-smoke claims-smoke bench-queue bench bench-check
 
 all: check
 
@@ -68,6 +68,35 @@ sweep-smoke:
 		{ echo "sweep-smoke: warm cache run still simulated:"; tail -1 /tmp/gat-sweep-warm-log.txt; exit 1; }
 	@/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -cache-dir /tmp/gat-sweep-cache -json > $(SMOKE_OUT)/sweep-smoke.json
 	@echo "sweep-smoke: parallel, sharded and warm-cache output byte-identical to serial; warm run simulated 0 runs"
+
+# Sweep-as-a-service smoke: a sweepd on a random port backs a cold
+# `sweep -remote` run, the warm rerun simulates nothing and emits
+# byte-identical figures (every entry comes back over HTTP), and the
+# /v1/watch stream replays at least one published run line. Server
+# stderr lands in $(SMOKE_OUT)/sweepd-smoke.log so CI can upload it
+# with the other smoke artifacts.
+sweepd-smoke:
+	@$(GO) build -o /tmp/gat-sweep ./cmd/sweep
+	@$(GO) build -o /tmp/gat-sweepd ./cmd/sweepd
+	@rm -rf /tmp/gat-sweepd-dir /tmp/gat-sweepd-addr
+	@/tmp/gat-sweepd -dir /tmp/gat-sweepd-dir -addr 127.0.0.1:0 -addr-file /tmp/gat-sweepd-addr \
+		2> $(SMOKE_OUT)/sweepd-smoke.log & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do [ -s /tmp/gat-sweepd-addr ] && break; sleep 0.1; done; \
+	[ -s /tmp/gat-sweepd-addr ] || { echo "sweepd-smoke: server never wrote its address"; exit 1; }; \
+	addr=$$(cat /tmp/gat-sweepd-addr); \
+	/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -remote http://$$addr -sweep-id smoke \
+		> /tmp/gat-sweepd-cold.txt || exit 1; \
+	/tmp/gat-sweep -fig all -maxnodes 2 -iters 2 -j 4 -remote http://$$addr -sweep-id smoke -v \
+		> /tmp/gat-sweepd-warm.txt 2> /tmp/gat-sweepd-warm-log.txt || exit 1; \
+	cmp /tmp/gat-sweepd-cold.txt /tmp/gat-sweepd-warm.txt || \
+		{ echo "sweepd-smoke: warm remote sweep differs from cold"; exit 1; }; \
+	grep -Eq "\([0-9]+ runs: 0 simulated, [0-9]+ from store, 0 resumed\)" /tmp/gat-sweepd-warm-log.txt || \
+		{ echo "sweepd-smoke: warm remote run still simulated:"; tail -1 /tmp/gat-sweepd-warm-log.txt; exit 1; }; \
+	curl -s -N --max-time 10 http://$$addr/v1/watch/smoke | head -n 1 > /tmp/gat-sweepd-watch.txt; \
+	grep -q '"figure"' /tmp/gat-sweepd-watch.txt || \
+		{ echo "sweepd-smoke: watch stream produced no run line"; cat /tmp/gat-sweepd-watch.txt; exit 1; }
+	@echo "sweepd-smoke: warm remote sweep served entirely from sweepd, byte-identical; watch stream live"
 
 # Scenario registry smoke: the registry must list (with the topology
 # column), a non-Summit, non-Jacobi composition must run end to end,
@@ -137,4 +166,4 @@ bench-check:
 
 # claims-smoke is not part of check: CI runs it as its own job, and
 # doubling it into the matrix legs would just re-run identical work.
-check: build vet fmt-check lint test sweep-smoke scenario-smoke
+check: build vet fmt-check lint test sweep-smoke sweepd-smoke scenario-smoke

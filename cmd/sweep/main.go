@@ -28,6 +28,17 @@
 //
 // A warm -cache sweep emits byte-identical output to a cold one and
 // performs zero simulations.
+//
+// Sweep as a service: point -remote at a sweepd server and the run
+// store is shared across machines. -cache and -remote compose into a
+// tiered cache (local disk first, then the network); -sweep-id streams
+// each completed run to the server's /v1/watch endpoint. A dead or
+// unreachable sweepd degrades to plain simulation with a warning —
+// remote failures can cost wall time, never figure bytes.
+//
+//	sweep -fig all -remote http://cachehost:8344
+//	sweep -fig all -cache -remote http://cachehost:8344   # tiered
+//	sweep -fig all -remote http://cachehost:8344 -sweep-id nightly
 package main
 
 import (
@@ -36,12 +47,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 
 	"gat/internal/app"
 	"gat/internal/bench"
 	"gat/internal/machine"
 	"gat/internal/sweep"
 	"gat/internal/sweep/store"
+	"gat/internal/sweep/store/remote"
 )
 
 func main() {
@@ -60,6 +73,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a JSON report with per-run provenance (gat-sweep-v3)")
 	cache := flag.Bool("cache", false, "memoize runs in the content-addressed run store")
 	cacheDir := flag.String("cache-dir", "", "run store directory (implies -cache; default: user cache dir /gat/sweep)")
+	remoteURL := flag.String("remote", "", "sweepd base URL (e.g. http://cachehost:8344); composes with -cache as a tiered store")
+	sweepID := flag.String("sweep-id", "", "publish each completed run to the sweepd under this id, feeding its /v1/watch stream (requires -remote)")
 	resume := flag.String("resume", "", "reuse results from a previous gat-sweep JSON report; only missing/failed runs are simulated")
 	explain := flag.Bool("explain", false, "print the per-run provenance table (simulated vs cached, keys) to stderr")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
@@ -111,7 +126,38 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		opt.Store = st
+		opt.Cache = st
+	}
+	if *sweepID != "" && *remoteURL == "" {
+		fatalf("-sweep-id needs -remote: run publication goes to the sweepd server")
+	}
+	if *remoteURL != "" {
+		rc, err := remote.Open(*remoteURL)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if opt.Cache != nil {
+			// Local disk first, network on miss; a remote hit seeds the
+			// local tier. Content-addressed entries make tier order a
+			// cost decision only — the bytes are identical either way.
+			opt.Cache = sweep.Tiered{Local: opt.Cache, Remote: rc}
+		} else {
+			opt.Cache = rc
+		}
+		if *sweepID != "" {
+			// Publication is advisory: the sweep's own report stays the
+			// source of truth, so a failing watch feed warns once and
+			// the sweep carries on.
+			var warnOnce sync.Once
+			opt.Notify = func(run sweep.Run) {
+				if err := rc.PublishRun(*sweepID, run.Record()); err != nil {
+					warnOnce.Do(func() {
+						fmt.Fprintf(os.Stderr, "sweep: warning: publishing runs to %s failed (%v); the watch stream for %q will be incomplete\n",
+							*remoteURL, err, *sweepID)
+					})
+				}
+			}
+		}
 	}
 	if *resume != "" {
 		f, err := os.Open(*resume)

@@ -1,0 +1,95 @@
+// Command sweepd serves a shared content-addressed run store plus a
+// streaming sweep-watch API over HTTP — sweep-as-a-service. Point many
+// machines' `sweep -remote` at one sweepd and every figure any of them
+// has ever simulated costs one lookup; attach `curl -N` to the watch
+// endpoint and per-run results stream in as cells complete.
+//
+// Usage:
+//
+//	sweepd -dir /var/cache/gat-sweep                 # serve on :8344
+//	sweepd -dir /mnt/shared/gat -read-only           # lookup-only tier
+//	sweepd -addr 127.0.0.1:0 -addr-file /tmp/addr    # random port, for scripts
+//
+// Then, from any worker machine:
+//
+//	sweep -fig all -remote http://cachehost:8344 -sweep-id nightly
+//	curl -N http://cachehost:8344/v1/watch/nightly   # stream results
+//
+// sweepd is trusted-network-only in v1: no auth, no TLS. See the
+// endpoint table in README "Sweep as a service".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"gat/internal/sweep/store"
+	"gat/internal/sweepd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address; use host:0 for an ephemeral port")
+	dir := flag.String("dir", "", "run-store directory to serve (created unless -read-only; required)")
+	readOnly := flag.Bool("read-only", false, "serve lookups only: the directory must exist and every PUT answers 403")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts wrapping -addr :0)")
+	flag.Parse()
+
+	if *dir == "" {
+		fatalf("missing -dir: sweepd needs a run-store directory to serve")
+	}
+	var (
+		st  *store.Store
+		err error
+	)
+	if *readOnly {
+		st, err = store.OpenReadOnly(*dir)
+	} else {
+		st, err = store.Open(*dir)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	logger := log.New(os.Stderr, "sweepd: ", log.LstdFlags)
+	srv := sweepd.New(st, logger.Printf)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Written after listen succeeds, so a script that waits for the
+		// file can connect immediately.
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fatalf("writing -addr-file: %v", err)
+		}
+	}
+	n, _ := st.Len()
+	mode := "read-write"
+	if st.ReadOnly() {
+		mode = "read-only"
+	}
+	logger.Printf("serving %s (%d entries, %s) on http://%s", st.Dir(), n, mode, bound)
+
+	// No write timeout: /v1/watch streams are long-lived by design.
+	// Idle and header timeouts still bound half-open connections.
+	server := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          logger,
+	}
+	if err := server.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweepd: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"errors"
+
+	"gat/internal/sweep/store"
+)
+
+// Cache is the content-addressed run-cache contract the sweep
+// orchestrator runs against: Get/Put of whole store.Entry values by
+// fingerprint. The unit of exchange is the full Entry — not just the
+// figure point — so provenance like the original simulation's wall_ns
+// survives every round trip through every backend identically.
+//
+// Implementations today: *store.Store (the local on-disk cache),
+// remote.Client (a shared sweepd service over HTTP), cachetest.Mem
+// (in-memory fake for tests), and Tiered (local read-through over
+// remote). All are exercised by the same conformance suite
+// (internal/sweep/cachetest.Conformance).
+//
+// Error contract, inherited from the disk store: Get returns
+// (zero, false, nil) for a plain miss and (zero, false, err) for a
+// diagnosable problem (corrupt entry, unreachable backend) — both are
+// misses to the orchestrator, which logs the error and simulates, so
+// a broken cache can never fail a sweep. Implementations may also
+// return (entry, true, err) when the hit is good but a side effect
+// failed (Tiered seeding its local tier); the orchestrator uses the
+// hit and logs the error. Put failures lose only the memo.
+//
+// Implementations must be safe for concurrent use by the sweep
+// worker pool.
+type Cache interface {
+	// Get returns the entry filed under key. ok reports a usable hit;
+	// see the interface comment for the (ok, err) matrix.
+	Get(key string) (store.Entry, bool, error)
+	// Put files e under e.Key. Entries are content-addressed: a re-put
+	// of the same key carries the same result, so overwriting is
+	// conflict-free and Put is idempotent. Implementations gate on
+	// Entry.Validate and return store.ErrReadOnly (wrapped) when the
+	// backend cannot accept writes.
+	Put(e store.Entry) error
+}
+
+// Tiered composes a local cache as a read-through tier in front of a
+// shared remote one, so `-cache` and `-remote` stack: lookups try the
+// cheap local tier first, fall through to the remote, and seed the
+// local tier on a remote hit so the next sweep on this machine never
+// leaves disk. Because entries are content-addressed and immutable,
+// tier order affects only lookup cost, never results.
+type Tiered struct {
+	Local, Remote Cache
+}
+
+// Get tries the local tier, then the remote. A remote hit is written
+// through to the local tier best-effort: seeding failure (or a corrupt
+// local entry that the remote healed over) is reported alongside the
+// hit as (entry, true, err) so the orchestrator can log it without
+// losing the result.
+func (t Tiered) Get(key string) (store.Entry, bool, error) {
+	e, ok, localErr := t.Local.Get(key)
+	if ok {
+		return e, true, localErr
+	}
+	e, ok, remoteErr := t.Remote.Get(key)
+	if !ok {
+		return store.Entry{}, false, errors.Join(localErr, remoteErr)
+	}
+	var seedErr error
+	if err := t.Local.Put(e); err != nil {
+		seedErr = err
+	}
+	return e, true, errors.Join(localErr, remoteErr, seedErr)
+}
+
+// Put writes through to both tiers; a failure in either loses only
+// that tier's memo. Errors are joined so the caller's log names every
+// tier that refused.
+func (t Tiered) Put(e store.Entry) error {
+	return errors.Join(t.Local.Put(e), t.Remote.Put(e))
+}

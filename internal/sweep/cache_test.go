@@ -39,7 +39,7 @@ func TestCachedSweepByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := Sweep(testIDs, Options{Workers: 4, Bench: quickOpt(), Store: st})
+	cold, err := Sweep(testIDs, Options{Workers: 4, Bench: quickOpt(), Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestCachedSweepByteIdentical(t *testing.T) {
 	}
 
 	before := bench.Executions()
-	warm, err := Sweep(testIDs, Options{Workers: 4, Bench: quickOpt(), Store: st})
+	warm, err := Sweep(testIDs, Options{Workers: 4, Bench: quickOpt(), Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestCachedSweepByteIdentical(t *testing.T) {
 // heal the entry, and still produce identical bytes.
 func TestCacheCorruptEntryResimulated(t *testing.T) {
 	st := openStore(t)
-	cold, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st})
+	cold, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestCacheCorruptEntryResimulated(t *testing.T) {
 	}
 
 	before := bench.Executions()
-	warm, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st})
+	warm, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestCacheCorruptEntryResimulated(t *testing.T) {
 		t.Fatal("re-simulated sweep output differs")
 	}
 	// The slot healed: a third sweep is fully warm.
-	third, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st})
+	third, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,19 +112,19 @@ func TestCacheCorruptEntryResimulated(t *testing.T) {
 // returning to the original hits again.
 func TestCacheKeyedOnOptions(t *testing.T) {
 	st := openStore(t)
-	if _, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st}); err != nil {
+	if _, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st}); err != nil {
 		t.Fatal(err)
 	}
 	jopt := quickOpt()
 	jopt.Jitter = 0.05
-	jres, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: jopt, Store: st})
+	jres, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: jopt, Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if jres.FromStore != 0 {
 		t.Fatalf("jittered sweep hit the jitter-free cache: %s", jres.Provenance())
 	}
-	back, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st})
+	back, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestResumeWritesThroughToStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := openStore(t)
-	first, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st, Prior: NewPrior(rep)})
+	first, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st, Prior: NewPrior(rep)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestResumeWritesThroughToStore(t *testing.T) {
 		t.Fatalf("first resume provenance wrong: %s", first.Provenance())
 	}
 	// Without the prior, the store alone must now answer everything.
-	second, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st})
+	second, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,10 +301,10 @@ func TestResumeWritesThroughToStore(t *testing.T) {
 // TestWriteExplain sanity-checks the human provenance rendering.
 func TestWriteExplain(t *testing.T) {
 	st := openStore(t)
-	if _, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st}); err != nil {
+	if _, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st}); err != nil {
 		t.Fatal(err)
 	}
-	warm, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st})
+	warm, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +406,7 @@ func TestResumeV2DoesNotSeedStore(t *testing.T) {
 		}
 	}
 	st := openStore(t)
-	first, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st, Prior: NewPrior(rep)})
+	first, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st, Prior: NewPrior(rep)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +435,7 @@ func TestResumeExactWriteThroughKeepsWall(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := openStore(t)
-	if _, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st, Prior: NewPrior(rep)}); err != nil {
+	if _, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st, Prior: NewPrior(rep)}); err != nil {
 		t.Fatal(err)
 	}
 	run0 := rep.Figures[0].Runs[0]
@@ -459,7 +459,7 @@ func TestResumeExactWriteThroughKeepsWall(t *testing.T) {
 // store must win over a prior report even when both could answer.
 func TestStoreBeatsPrior(t *testing.T) {
 	st := openStore(t)
-	cold, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st})
+	cold, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +471,7 @@ func TestStoreBeatsPrior(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st, Prior: NewPrior(rep)})
+	res, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st, Prior: NewPrior(rep)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -487,11 +487,11 @@ func TestStoreBeatsPrior(t *testing.T) {
 // saved-cost provenance.
 func TestWarmReportKeepsSimulationCost(t *testing.T) {
 	st := openStore(t)
-	cold, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st})
+	cold, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st})
+	warm, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -561,7 +561,7 @@ func TestMetadataResumeStaysUnverified(t *testing.T) {
 	// Round trip: resuming the second-generation report with a store
 	// must still not write the unverified values through.
 	st := openStore(t)
-	if _, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Store: st, Prior: NewPrior(rep2)}); err != nil {
+	if _, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt(), Cache: st, Prior: NewPrior(rep2)}); err != nil {
 		t.Fatal(err)
 	}
 	if n, err := st.Len(); err != nil || n != 0 {

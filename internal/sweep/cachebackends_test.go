@@ -1,0 +1,338 @@
+// End-to-end coverage of the sweep.Cache redesign: every backend —
+// disk store, in-memory fake, remote sweepd client, tiered composite —
+// must make a warm sweep byte-identical to a cold one with zero engine
+// simulations, and a dead sweepd must degrade to plain simulation.
+//
+// Lives in package sweep_test (not sweep): it imports sweepd, which
+// imports sweep, so an internal test file would be an import cycle.
+package sweep_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gat/internal/bench"
+	"gat/internal/sweep"
+	"gat/internal/sweep/cachetest"
+	"gat/internal/sweep/store"
+	"gat/internal/sweep/store/remote"
+	"gat/internal/sweepd"
+)
+
+// e2eIDs keeps the end-to-end matrix cheap: one Charm/MPI figure and
+// one best-ODF search cover both spec shapes.
+var e2eIDs = []string{"fig6a", "fig9a"}
+
+func e2eOpt(c sweep.Cache) sweep.Options {
+	return sweep.Options{
+		Workers: 4,
+		Bench:   bench.Options{MaxNodes: 2, Warmup: 1, Iters: 2},
+		Cache:   c,
+	}
+}
+
+// render captures the figure output — tables and CSV. The JSON report
+// is deliberately excluded: it records per-run provenance (source,
+// cached, wall_ns) that differs between a warm and a cold sweep by
+// design, while the figure bytes must not.
+func render(t *testing.T, res sweep.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	res.WriteTables(&buf)
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func startSweepd(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(sweepd.New(st, t.Logf))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func remoteClient(t *testing.T, base string) *remote.Client {
+	t.Helper()
+	rc, err := remote.Open(base, remote.WithTimeout(5*time.Second), remote.WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rc
+}
+
+// TestBackendsWarmSweepByteIdentical is the acceptance gate of the
+// cache API redesign, run against every backend through one table: a
+// warm sweep re-emits the cold sweep's bytes without a single engine
+// execution, whether the entries sit on local disk, in memory, behind
+// a sweepd, or in a tiered local+remote composite.
+func TestBackendsWarmSweepByteIdentical(t *testing.T) {
+	backends := []struct {
+		name string
+		open func(t *testing.T) sweep.Cache
+	}{
+		{"disk", func(t *testing.T) sweep.Cache {
+			st, err := store.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}},
+		{"mem", func(t *testing.T) sweep.Cache { return cachetest.NewMem() }},
+		{"remote", func(t *testing.T) sweep.Cache {
+			return remoteClient(t, startSweepd(t).URL)
+		}},
+		{"tiered", func(t *testing.T) sweep.Cache {
+			local, err := store.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sweep.Tiered{Local: local, Remote: remoteClient(t, startSweepd(t).URL)}
+		}},
+	}
+	for _, bk := range backends {
+		t.Run(bk.name, func(t *testing.T) {
+			c := bk.open(t)
+			cold, err := sweep.Sweep(e2eIDs, e2eOpt(c))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.Simulated == 0 || cold.FromStore != 0 {
+				t.Fatalf("cold provenance wrong: %s", cold.Provenance())
+			}
+			if cold.CacheErrors != 0 {
+				t.Fatalf("cold sweep hit %d cache errors", cold.CacheErrors)
+			}
+
+			before := bench.Executions()
+			warm, err := sweep.Sweep(e2eIDs, e2eOpt(c))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if simulated := bench.Executions() - before; simulated != 0 {
+				t.Fatalf("warm sweep executed %d simulations, want 0", simulated)
+			}
+			if warm.Simulated != 0 || warm.FromStore != cold.Simulated {
+				t.Fatalf("warm provenance wrong: %s (cold was %s)", warm.Provenance(), cold.Provenance())
+			}
+			if got, want := render(t, warm), render(t, cold); !bytes.Equal(got, want) {
+				t.Fatalf("warm sweep differs from cold sweep:\n%s\n---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestTieredWarmLocalAfterRemoteSeed: a sweep warmed purely through
+// the remote tier seeds the local disk tier, so a second client with
+// the same local dir never needs the network.
+func TestTieredWarmLocalAfterRemoteSeed(t *testing.T) {
+	ts := startSweepd(t)
+	dir := t.TempDir()
+
+	// Cold sweep, remote only: the server now holds every entry.
+	if _, err := sweep.Sweep(e2eIDs, e2eOpt(remoteClient(t, ts.URL))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm sweep through a tiered cache with an empty local dir: every
+	// hit comes from the remote and is written through to local disk.
+	local, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sweep.Sweep(e2eIDs, e2eOpt(sweep.Tiered{Local: local, Remote: remoteClient(t, ts.URL)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Simulated != 0 || warm.CacheErrors != 0 {
+		t.Fatalf("tiered warm provenance wrong: %s (%d cache errors)", warm.Provenance(), warm.CacheErrors)
+	}
+	n, err := local.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != warm.FromStore {
+		t.Fatalf("local tier holds %d entries after remote-seeded sweep, want %d", n, warm.FromStore)
+	}
+
+	// Third sweep, local tier only — the network is gone and it still
+	// serves everything.
+	ts.Close()
+	third, err := sweep.Sweep(e2eIDs, e2eOpt(local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Simulated != 0 {
+		t.Fatalf("after seeding, local-only sweep still simulated: %s", third.Provenance())
+	}
+}
+
+// TestRemoteWarmJSONMatchesLocalWarm: the same store served two ways —
+// locally by path, remotely through sweepd — must yield identical
+// gat-sweep-v3 reports on a warm sweep, run records and all: the full
+// Entry crosses the HTTP boundary, so even each run's original
+// simulation wall_ns survives the round trip. Only the report header's
+// own host wall time is excluded (it measures the sweep, not the runs).
+func TestRemoteWarmJSONMatchesLocalWarm(t *testing.T) {
+	dir := t.TempDir()
+	local, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweep.Sweep(e2eIDs, e2eOpt(local)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve the very same directory over HTTP, read-only: the warm
+	// remote sweep needs no writes.
+	ro, err := store.OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(sweepd.New(ro, t.Logf))
+	defer ts.Close()
+
+	warmJSON := func(c sweep.Cache) []byte {
+		t.Helper()
+		before := bench.Executions()
+		res, err := sweep.Sweep(e2eIDs, e2eOpt(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if simulated := bench.Executions() - before; simulated != 0 {
+			t.Fatalf("warm sweep executed %d simulations, want 0", simulated)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sweep.ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.WallNS = 0 // the header times the sweep itself, not its runs
+		out, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	localJSON := warmJSON(local)
+	remoteJSON := warmJSON(remoteClient(t, ts.URL))
+	if !bytes.Equal(localJSON, remoteJSON) {
+		t.Fatalf("warm remote v3 report differs from warm local one:\n%s\n---\n%s", remoteJSON, localJSON)
+	}
+}
+
+// TestDeadSweepdFailsOpen is the acceptance criterion for a killed or
+// unreachable server: the sweep completes by simulating everything,
+// reports cache errors (so the warning fires), and produces the same
+// bytes as an uncached sweep.
+func TestDeadSweepdFailsOpen(t *testing.T) {
+	// Bind a port, then close it: a base URL where nothing listens.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	base := dead.URL
+	dead.Close()
+
+	rc, err := remote.Open(base,
+		remote.WithTimeout(200*time.Millisecond),
+		remote.WithAttempts(1),
+		remote.WithDownAfter(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sweep.Sweep(e2eIDs, sweep.Options{Workers: 4, Bench: bench.Options{MaxNodes: 2, Warmup: 1, Iters: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sweep.Sweep(e2eIDs, e2eOpt(rc))
+	if err != nil {
+		t.Fatalf("sweep against dead server failed instead of failing open: %v", err)
+	}
+	if res.Simulated == 0 || res.FromStore != 0 {
+		t.Fatalf("dead-server provenance wrong: %s", res.Provenance())
+	}
+	if res.CacheErrors == 0 {
+		t.Fatal("dead server produced no cache errors; the user would never see a warning")
+	}
+	if got, want := render(t, res), render(t, plain); !bytes.Equal(got, want) {
+		t.Fatalf("dead-server sweep differs from uncached sweep:\n%s\n---\n%s", got, want)
+	}
+	if !rc.Down() {
+		t.Fatal("breaker never tripped: a dead server would cost a timeout per run")
+	}
+}
+
+// TestWatchStreamsSweepRuns wires the whole service loop: a sweep
+// publishes each completed run through Options.Notify, and a watcher
+// attached before the sweep starts receives one gat-sweep-v3 run line
+// per cell, replay and live alike.
+func TestWatchStreamsSweepRuns(t *testing.T) {
+	ts := startSweepd(t)
+	rc := remoteClient(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/watch/e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type line struct {
+		rec sweep.ReportRun
+		err error
+	}
+	lines := make(chan line)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var rec sweep.ReportRun
+			err := json.Unmarshal(sc.Bytes(), &rec)
+			lines <- line{rec, err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	opt := e2eOpt(rc)
+	opt.Notify = func(run sweep.Run) {
+		if err := rc.PublishRun("e2e", run.Record()); err != nil {
+			t.Errorf("publishing run: %v", err)
+		}
+	}
+	res, err := sweep.Sweep(e2eIDs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Simulated + res.FromStore + res.FromPrior
+	if total == 0 {
+		t.Fatal("sweep produced no runs")
+	}
+
+	deadline := time.After(30 * time.Second)
+	seen := 0
+	for seen < total {
+		select {
+		case l := <-lines:
+			if l.err != nil {
+				t.Fatalf("watch stream line is not a run record: %v", l.err)
+			}
+			if l.rec.Figure == "" || l.rec.Series == "" {
+				t.Fatalf("watch line missing figure/series: %+v", l.rec)
+			}
+			seen++
+		case <-deadline:
+			t.Fatalf("watch stream delivered %d of %d runs before timeout", seen, total)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package cachetest supplies the shared test kit for run-cache
+// backends: an in-memory fake (Mem) and a conformance suite
+// (Conformance) that every sweep.Cache implementation — the on-disk
+// store, the fake, the sweepd HTTP client — must pass, so "cache
+// backend" means exactly one behavior regardless of transport.
+//
+// The package deliberately declares its own structural Cache
+// interface rather than importing the orchestrator: Go interfaces are
+// satisfied structurally, so anything passing Conformance is a
+// sweep.Cache and vice versa, while internal/sweep's own tests stay
+// free to import this package without an import cycle.
+package cachetest
+
+import (
+	"fmt"
+	"sync"
+
+	"gat/internal/sweep/store"
+)
+
+// Cache mirrors sweep.Cache structurally; see that interface for the
+// full contract (miss/error matrix, idempotent content-addressed Put,
+// concurrency safety).
+type Cache interface {
+	Get(key string) (store.Entry, bool, error)
+	Put(e store.Entry) error
+}
+
+// Mem is an in-memory Cache: the reference fake for tests that need
+// cache behavior without disk or network. It validates entries
+// exactly like the disk store (Entry.Validate) and honors a read-only
+// mode with the same typed error, so orchestrator tests can swap it
+// for *store.Store without changing assertions.
+type Mem struct {
+	mu       sync.Mutex
+	entries  map[string]store.Entry
+	readOnly bool
+
+	// Fault injection: when set, every matching call fails with the
+	// given error (Get errors are "corrupt entry" style misses).
+	GetErr, PutErr error
+}
+
+// NewMem returns an empty in-memory cache.
+func NewMem() *Mem {
+	return &Mem{entries: map[string]store.Entry{}}
+}
+
+// Get returns the stored entry, a miss for absent keys, and an error
+// miss for malformed keys or injected faults — the disk store's
+// matrix.
+func (m *Mem) Get(key string) (store.Entry, bool, error) {
+	if !store.ValidKey(key) {
+		return store.Entry{}, false, fmt.Errorf("cachetest: malformed key %q", key)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.GetErr != nil {
+		return store.Entry{}, false, m.GetErr
+	}
+	e, ok := m.entries[key]
+	return e, ok, nil
+}
+
+// Put validates and files the entry; last write wins.
+func (m *Mem) Put(e store.Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.PutErr != nil {
+		return m.PutErr
+	}
+	if m.readOnly {
+		return fmt.Errorf("cachetest: put %s: %w", e.Key, store.ErrReadOnly)
+	}
+	m.entries[e.Key] = e
+	return nil
+}
+
+// SetReadOnly toggles read-only mode: Puts fail with store.ErrReadOnly.
+func (m *Mem) SetReadOnly(ro bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.readOnly = ro
+}
+
+// Len returns the number of entries held.
+func (m *Mem) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

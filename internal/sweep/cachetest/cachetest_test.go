@@ -1,0 +1,62 @@
+package cachetest
+
+import (
+	"errors"
+	"testing"
+
+	"gat/internal/bench"
+	"gat/internal/sweep/store"
+)
+
+// TestMemConformance: the fake must pass the same suite as the real
+// backends, or tests written against it prove nothing.
+func TestMemConformance(t *testing.T) {
+	Conformance(t, func(t *testing.T) Cache { return NewMem() })
+}
+
+// TestMemReadOnly mirrors store.OpenReadOnly semantics.
+func TestMemReadOnly(t *testing.T) {
+	m := NewMem()
+	spec, key := TestSpec(t)
+	e, err := store.NewEntry(key, spec, bench.Point{Nodes: spec.X, Value: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	m.SetReadOnly(true)
+	if err := m.Put(e); !errors.Is(err, store.ErrReadOnly) {
+		t.Fatalf("read-only Put error = %v, want errors.Is(_, store.ErrReadOnly)", err)
+	}
+	if _, ok, err := m.Get(key); !ok || err != nil {
+		t.Fatalf("read-only Get: ok=%v err=%v", ok, err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+// TestMemFaultInjection: the injectable errors surface on the right
+// calls, so orchestrator tests can simulate a rotting cache.
+func TestMemFaultInjection(t *testing.T) {
+	m := NewMem()
+	spec, key := TestSpec(t)
+	e, err := store.NewEntry(key, spec, bench.Point{Nodes: spec.X, Value: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	m.PutErr = boom
+	if err := m.Put(e); !errors.Is(err, boom) {
+		t.Fatalf("Put with injected fault = %v, want boom", err)
+	}
+	m.PutErr = nil
+	if err := m.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	m.GetErr = boom
+	if _, ok, err := m.Get(key); ok || !errors.Is(err, boom) {
+		t.Fatalf("Get with injected fault = ok=%v err=%v, want error miss", ok, err)
+	}
+}

@@ -1,0 +1,183 @@
+package cachetest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gat/internal/bench"
+	"gat/internal/sweep/store"
+)
+
+// TestSpec compiles a real figure plan and returns one spec plus its
+// fingerprint, so cache tests exercise production keys. Exported for
+// backend test packages that need a valid (spec, key) pair.
+func TestSpec(t *testing.T) (bench.RunSpec, string) {
+	t.Helper()
+	p, err := bench.PlanScenario("fig6a", bench.Options{MaxNodes: 2, Warmup: 1, Iters: 2}, bench.Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := p.Specs[0]
+	return spec, spec.Fingerprint()
+}
+
+// Conformance runs the shared behavioral suite against a cache
+// backend. open must return a fresh, empty cache per call. Every
+// sweep.Cache implementation — disk store, in-memory fake, remote
+// sweepd client — runs this same suite, so the orchestrator can treat
+// them interchangeably:
+//
+//   - absent keys miss with a nil error
+//   - a Put entry round-trips whole, including wall_ns provenance,
+//     meta and the fabric-congestion summary
+//   - Put is idempotent and last-write-wins on a re-put
+//   - entries failing Entry.Validate (foreign schema, malformed key)
+//     are refused and never become visible
+//   - malformed keys never hit (and may error diagnostically)
+//   - concurrent same-key Puts all succeed and leave a whole entry
+func Conformance(t *testing.T, open func(t *testing.T) Cache) {
+	spec, key := TestSpec(t)
+	pt := bench.Point{Nodes: spec.X, Value: 1.5, Meta: "ODF-2", MaxLinkUtil: 0.4, MeanLinkUtil: 0.1}
+
+	t.Run("miss-on-absent-key", func(t *testing.T) {
+		c := open(t)
+		if _, ok, err := c.Get(key); ok || err != nil {
+			t.Fatalf("Get on empty cache = ok=%v err=%v, want plain miss", ok, err)
+		}
+	})
+
+	t.Run("round-trip-whole-entry", func(t *testing.T) {
+		c := open(t)
+		e, err := store.NewEntry(key, spec, pt, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(e); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := c.Get(key)
+		if !ok || err != nil {
+			t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+		}
+		if got != e {
+			t.Fatalf("entry did not round-trip whole:\n got %+v\nwant %+v", got, e)
+		}
+		if got.WallNS != 1234 {
+			t.Fatalf("wall_ns provenance lost: %d, want 1234", got.WallNS)
+		}
+		if got.Point() != pt {
+			t.Fatalf("point did not round-trip: %+v, want %+v", got.Point(), pt)
+		}
+	})
+
+	t.Run("idempotent-last-write-wins", func(t *testing.T) {
+		c := open(t)
+		first, err := store.NewEntry(key, spec, pt, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(first); err != nil {
+			t.Fatal(err)
+		}
+		second := first
+		second.WallNS = 200
+		if err := c.Put(second); err != nil {
+			t.Fatalf("re-put of the same key failed: %v", err)
+		}
+		got, ok, err := c.Get(key)
+		if !ok || err != nil || got.WallNS != 200 {
+			t.Fatalf("after re-put: entry %+v ok=%v err=%v, want wall_ns 200", got, ok, err)
+		}
+	})
+
+	t.Run("refuses-invalid-entries", func(t *testing.T) {
+		c := open(t)
+		good, err := store.NewEntry(key, spec, pt, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := good
+		bad.Schema = "gat-cache-v9"
+		if err := c.Put(bad); err == nil {
+			t.Fatal("Put accepted a foreign schema tag")
+		}
+		bad = good
+		bad.Key = "../../../../tmp/escape"
+		if err := c.Put(bad); err == nil {
+			t.Fatal("Put accepted a malformed key")
+		}
+		if _, ok, _ := c.Get(key); ok {
+			t.Fatal("refused entries became visible")
+		}
+	})
+
+	t.Run("malformed-key-never-hits", func(t *testing.T) {
+		c := open(t)
+		for _, k := range []string{"", "short", "../../etc/passwd", "DEADBEEFDEADBEEFDEADBEEFDEADBEEF"} {
+			if _, ok, _ := c.Get(k); ok {
+				t.Fatalf("malformed key %q returned a hit", k)
+			}
+		}
+	})
+
+	t.Run("concurrent-same-key-puts", func(t *testing.T) {
+		c := open(t)
+		const writers = 8
+		errs := make([]error, writers)
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				e, err := store.NewEntry(key, spec, pt, int64(1000+w))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				errs[w] = c.Put(e)
+			}(w)
+		}
+		wg.Wait()
+		var firstErr error
+		for _, err := range errs {
+			firstErr = errors.Join(firstErr, err)
+		}
+		if firstErr != nil {
+			t.Fatalf("racing Puts failed: %v", firstErr)
+		}
+		got, ok, err := c.Get(key)
+		if !ok || err != nil {
+			t.Fatalf("after racing Puts: ok=%v err=%v", ok, err)
+		}
+		if got.Point() != pt {
+			t.Fatalf("torn entry after race: %+v", got)
+		}
+		if got.WallNS < 1000 || got.WallNS >= 1000+writers {
+			t.Fatalf("entry wall_ns %d is not one of the racing writes", got.WallNS)
+		}
+	})
+
+	t.Run("distinct-keys-coexist", func(t *testing.T) {
+		c := open(t)
+		for i := 0; i < 4; i++ {
+			k := fmt.Sprintf("%032x", 0xa000+i)
+			e, err := store.NewEntry(key, spec, pt, int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Key = k // distinct synthetic keys, same content shape
+			if err := c.Put(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			k := fmt.Sprintf("%032x", 0xa000+i)
+			got, ok, err := c.Get(k)
+			if !ok || err != nil || got.WallNS != int64(i) {
+				t.Fatalf("key %s: entry %+v ok=%v err=%v", k, got, ok, err)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -24,6 +25,29 @@ const (
 	SchemaV2 = "gat-sweep-v2"
 	SchemaV3 = "gat-sweep-v3"
 )
+
+// ErrUnknownSchema marks a structurally valid JSON document whose
+// schema tag is not one ReadJSON accepts. It is distinguishable from
+// a JSON decode error so servers (sweepd) can answer a foreign-but-
+// well-formed payload with a friendly "unsupported schema" message
+// instead of a decoder trace.
+var ErrUnknownSchema = errors.New("unsupported sweep report schema")
+
+// SchemaVersion maps an accepted schema tag to its ordinal (1, 2 or
+// 3). ok is false for anything else. Use it to branch on capability:
+// only version >= 3 documents carry per-run values and fingerprints.
+func SchemaVersion(schema string) (int, bool) {
+	switch schema {
+	case SchemaV1:
+		return 1, true
+	case SchemaV2:
+		return 2, true
+	case SchemaV3:
+		return 3, true
+	default:
+		return 0, false
+	}
+}
 
 // Report is the on-disk sweep document.
 type Report struct {
@@ -115,6 +139,39 @@ func keyIfVerified(run Run) string {
 	return ""
 }
 
+// Record renders the run as its gat-sweep-v3 per-run record — the
+// exact shape WriteJSON embeds and sweepd's watch stream emits one
+// line of per completed cell, so report files and live streams carry
+// identical records.
+func (run Run) Record() ReportRun {
+	return ReportRun{
+		Figure:   run.Spec.FigID,
+		Scenario: run.Spec.Scenario,
+		App:      run.Spec.App,
+		Machine:  run.Spec.Machine,
+		Series:   run.Spec.Series,
+		X:        run.Spec.X,
+		Nodes:    run.Spec.Nodes,
+		Warmup:   run.Spec.Warmup,
+		Iters:    run.Spec.Iters,
+		Seed:     run.Spec.Seed,
+		WallNS:   run.SimWallNS,
+		// A key asserts "this value was verified against this
+		// fingerprint". Metadata-matched resume values weren't:
+		// stamping them with the current fingerprint would make
+		// the next resume treat them as exact and write the
+		// unverified numbers through into the run store.
+		Key:          keyIfVerified(run),
+		Cached:       run.Source != SourceSim,
+		Source:       run.Source.String(),
+		Value:        run.Point.Value,
+		Meta:         run.Point.Meta,
+		Jitter:       run.Spec.Jitter,
+		MaxLinkUtil:  run.Point.MaxLinkUtil,
+		MeanLinkUtil: run.Point.MeanLinkUtil,
+	}
+}
+
 // WriteJSON renders the sweep as an indented gat-sweep-v3 document.
 func (r Result) WriteJSON(w io.Writer) error {
 	rep := Report{
@@ -137,32 +194,7 @@ func (r Result) WriteJSON(w io.Writer) error {
 			jf.Series = append(jf.Series, js)
 		}
 		for _, run := range f.Runs {
-			jf.Runs = append(jf.Runs, ReportRun{
-				Figure:   run.Spec.FigID,
-				Scenario: run.Spec.Scenario,
-				App:      run.Spec.App,
-				Machine:  run.Spec.Machine,
-				Series:   run.Spec.Series,
-				X:        run.Spec.X,
-				Nodes:    run.Spec.Nodes,
-				Warmup:   run.Spec.Warmup,
-				Iters:    run.Spec.Iters,
-				Seed:     run.Spec.Seed,
-				WallNS:   run.SimWallNS,
-				// A key asserts "this value was verified against this
-				// fingerprint". Metadata-matched resume values weren't:
-				// stamping them with the current fingerprint would make
-				// the next resume treat them as exact and write the
-				// unverified numbers through into the run store.
-				Key:          keyIfVerified(run),
-				Cached:       run.Source != SourceSim,
-				Source:       run.Source.String(),
-				Value:        run.Point.Value,
-				Meta:         run.Point.Meta,
-				Jitter:       run.Spec.Jitter,
-				MaxLinkUtil:  run.Point.MaxLinkUtil,
-				MeanLinkUtil: run.Point.MeanLinkUtil,
-			})
+			jf.Runs = append(jf.Runs, run.Record())
 		}
 		rep.Figures = append(rep.Figures, jf)
 	}
@@ -171,18 +203,34 @@ func (r Result) WriteJSON(w io.Writer) error {
 	return enc.Encode(&rep)
 }
 
-// ReadJSON parses a sweep report, accepting gat-sweep-v1, -v2 and -v3
-// documents (earlier versions simply lack the later fields).
+// ReadJSON parses a sweep report. The acceptance contract, one clause
+// per schema generation (each a strict superset of the last):
+//
+//   - gat-sweep-v1: figures with rendered series plus per-run
+//     coordinates (figure, series, x, nodes, warmup, iters, seed) and
+//     wall_ns. No composition, no provenance: resume matches these
+//     runs by metadata tuple only, pinned to the summit machine.
+//   - gat-sweep-v2: v1 plus per-run scenario/app/machine composition.
+//   - gat-sweep-v3: v2 plus per-run provenance — fingerprint key,
+//     cached flag and source, the run's own value/meta, jitter, and
+//     the optional error marker — making the document self-contained
+//     for exact resume and for sweepd's watch stream.
+//
+// The detected version is returned verbatim in Report.Schema (feed it
+// to SchemaVersion for the ordinal); later-version fields are simply
+// zero in earlier documents. Anything else fails: malformed JSON with
+// a decode error, and a well-formed document under a foreign schema
+// tag with an error satisfying errors.Is(err, ErrUnknownSchema) — the
+// split sweepd uses to answer 400 with a friendly message rather than
+// a decoder trace.
 func ReadJSON(r io.Reader) (*Report, error) {
 	var rep Report
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("sweep: invalid report JSON: %w", err)
 	}
-	switch rep.Schema {
-	case SchemaV1, SchemaV2, SchemaV3:
-		return &rep, nil
-	default:
-		return nil, fmt.Errorf("sweep: unsupported report schema %q (want %s, %s or %s)",
-			rep.Schema, SchemaV1, SchemaV2, SchemaV3)
+	if _, ok := SchemaVersion(rep.Schema); !ok {
+		return nil, fmt.Errorf("sweep: %w %q (want %s, %s or %s)",
+			ErrUnknownSchema, rep.Schema, SchemaV1, SchemaV2, SchemaV3)
 	}
+	return &rep, nil
 }

@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestReadJSONVersionDetection pins the acceptance contract documented
+// on ReadJSON: each accepted schema tag is detected and surfaced
+// verbatim in Report.Schema, a well-formed document under a foreign
+// tag fails with ErrUnknownSchema (sweepd's friendly-400 split), and
+// malformed JSON fails with a plain decode error.
+func TestReadJSONVersionDetection(t *testing.T) {
+	cases := []struct {
+		name, doc   string
+		wantSchema  string
+		wantVersion int
+		wantUnknown bool // errors.Is(err, ErrUnknownSchema)
+		wantErr     bool
+	}{
+		{"v1", `{"schema":"gat-sweep-v1","figures":[]}`, SchemaV1, 1, false, false},
+		{"v2", `{"schema":"gat-sweep-v2","figures":[]}`, SchemaV2, 2, false, false},
+		{"v3", `{"schema":"gat-sweep-v3","workers":4,"figures":[]}`, SchemaV3, 3, false, false},
+		{"future-version", `{"schema":"gat-sweep-v4","figures":[]}`, "", 0, true, true},
+		{"foreign-tag", `{"schema":"gat-cache-v1","figures":[]}`, "", 0, true, true},
+		{"missing-schema", `{"figures":[]}`, "", 0, true, true},
+		{"not-json", `schema: gat-sweep-v3`, "", 0, false, true},
+		{"truncated", `{"schema":"gat-sweep-v3","figures":[`, "", 0, false, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep, err := ReadJSON(strings.NewReader(c.doc))
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("ReadJSON(%q) succeeded, want error", c.doc)
+				}
+				if got := errors.Is(err, ErrUnknownSchema); got != c.wantUnknown {
+					t.Fatalf("errors.Is(err, ErrUnknownSchema) = %v, want %v (err: %v)", got, c.wantUnknown, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ReadJSON: %v", err)
+			}
+			if rep.Schema != c.wantSchema {
+				t.Fatalf("detected schema %q, want %q", rep.Schema, c.wantSchema)
+			}
+			v, ok := SchemaVersion(rep.Schema)
+			if !ok || v != c.wantVersion {
+				t.Fatalf("SchemaVersion(%q) = %d, %v; want %d, true", rep.Schema, v, ok, c.wantVersion)
+			}
+		})
+	}
+	if _, ok := SchemaVersion("gat-sweep-v99"); ok {
+		t.Fatal("SchemaVersion accepted an unknown tag")
+	}
+}
+
+// TestRunRecordMatchesWriteJSON: the watch stream and the report file
+// must carry the same per-run record — Record is the single renderer.
+func TestRunRecordMatchesWriteJSON(t *testing.T) {
+	res, err := Sweep([]string{"fig6a"}, Options{Workers: 2, Bench: quickOpt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, run := range res.Figures[0].Runs {
+		if got, want := run.Record(), rep.Figures[0].Runs[i]; got != want {
+			t.Fatalf("run %d: Record() = %+v, report run = %+v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package store_test
+
+import (
+	"testing"
+
+	"gat/internal/sweep/cachetest"
+	"gat/internal/sweep/store"
+)
+
+// TestDiskStoreConformance runs the shared cache-backend suite over
+// the on-disk store — the same suite the in-memory fake and the
+// remote sweepd client run, so every sweep.Cache behaves identically.
+func TestDiskStoreConformance(t *testing.T) {
+	cachetest.Conformance(t, func(t *testing.T) cachetest.Cache {
+		s, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}

@@ -15,6 +15,13 @@
 // entry or none. Corrupt or foreign files read as misses, never as
 // errors that abort a sweep: the run is simply re-simulated and the
 // entry rewritten.
+//
+// The unit of exchange is the whole Entry — value, provenance
+// coordinates and the original simulation's wall cost — so any cache
+// backend that moves Entries (the disk store here, the sweepd HTTP
+// service, an in-memory fake) round-trips wall_ns provenance without
+// knowing what it means. Build entries with NewEntry, which validates
+// the invariants Put relies on.
 package store
 
 import (
@@ -30,6 +37,12 @@ import (
 // Schema is the cache-entry schema tag. Bump only when the entry file
 // format itself changes; result invalidation is the fingerprint's job.
 const Schema = "gat-cache-v1"
+
+// ErrReadOnly marks a Put refused by a store opened with OpenReadOnly
+// (a worker on a shared read-only mount, sweepd's -read-only serving
+// mode). Callers that treat cache errors as non-fatal lose only the
+// memo; errors.Is(err, ErrReadOnly) identifies the cause.
+var ErrReadOnly = errors.New("store is read-only")
 
 // Entry is one cached run: the key it is filed under, the spec
 // coordinates that produced it (for humans reading the cache dir —
@@ -63,6 +76,40 @@ type Entry struct {
 	WallNS int64 `json:"wall_ns"`
 }
 
+// NewEntry builds the cache entry for one executed spec, validating
+// the invariants every backend's Put relies on: the key is a
+// well-formed fingerprint and the point's x coordinate round-trips
+// (Entry.Point rebuilds it from X, so a spec whose point disagrees
+// with its own x cell would corrupt reassembly on the next hit).
+func NewEntry(key string, spec bench.RunSpec, pt bench.Point, wallNS int64) (Entry, error) {
+	if !ValidKey(key) {
+		return Entry{}, fmt.Errorf("store: malformed key %q for spec %s", key, spec.Name())
+	}
+	if pt.Nodes != spec.X {
+		return Entry{}, fmt.Errorf("store: spec %s produced a point at x=%d; refusing to cache", spec.Name(), pt.Nodes)
+	}
+	return Entry{
+		Schema:       Schema,
+		Key:          key,
+		Figure:       spec.FigID,
+		Scenario:     spec.Scenario,
+		App:          spec.AppIdentity(),
+		Machine:      spec.MachineIdentity(),
+		Series:       spec.Series,
+		X:            spec.X,
+		Nodes:        spec.Nodes,
+		Warmup:       spec.Warmup,
+		Iters:        spec.Iters,
+		Seed:         spec.Seed,
+		Jitter:       spec.Jitter,
+		Value:        pt.Value,
+		Meta:         pt.Meta,
+		MaxLinkUtil:  pt.MaxLinkUtil,
+		MeanLinkUtil: pt.MeanLinkUtil,
+		WallNS:       wallNS,
+	}, nil
+}
+
 // Point reconstructs the figure point the entry caches.
 func (e Entry) Point() bench.Point {
 	return bench.Point{
@@ -71,14 +118,50 @@ func (e Entry) Point() bench.Point {
 	}
 }
 
+// Validate checks the entry's self-description: the schema tag this
+// package writes and a well-formed key. It is the shared gate for
+// every ingest path — the disk store's Put, sweepd's PUT handler, the
+// remote client decoding a server response — so a foreign or damaged
+// entry is refused identically everywhere.
+func (e Entry) Validate() error {
+	if e.Schema != Schema {
+		return fmt.Errorf("store: entry has schema %q, want %q", e.Schema, Schema)
+	}
+	if !ValidKey(e.Key) {
+		return fmt.Errorf("store: entry has malformed key %q", e.Key)
+	}
+	return nil
+}
+
+// ValidKey reports whether key has the shape of a run fingerprint: 32
+// lowercase hex characters (bench.RunSpec.Fingerprint). Everything
+// that builds a file path or URL from an externally supplied key
+// checks this first, so a hostile key ("../../etc/passwd") can never
+// escape the cache directory.
+func ValidKey(key string) bool {
+	if len(key) != 32 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Store is an open cache directory.
 type Store struct {
-	dir string
+	dir      string
+	readOnly bool
 }
 
 // Open prepares dir as a run cache, creating it if needed and probing
 // that it is writable, so a sweep fails up front — not after an hour
-// of simulation — when the cache can't persist results.
+// of simulation — when the cache can't persist results. Consumers
+// that only ever Get (a worker on a shared read-only mount) should use
+// OpenReadOnly instead: the probe would wrongly reject their mount.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty cache directory")
@@ -95,8 +178,32 @@ func Open(dir string) (*Store, error) {
 	return &Store{dir: dir}, nil
 }
 
+// OpenReadOnly opens an existing cache directory for lookups only: no
+// writability probe, no directory creation, and every Put returns an
+// error satisfying errors.Is(err, ErrReadOnly). This is the mode for
+// consumers of a shared read-only mount and for sweepd's -read-only
+// serving. The directory must already exist — a missing path is
+// almost always a typo, and a read-only consumer cannot create it
+// anyway.
+func OpenReadOnly(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty cache directory")
+	}
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read-only cache directory: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("store: read-only cache path %s is not a directory", dir)
+	}
+	return &Store{dir: dir, readOnly: true}, nil
+}
+
 // Dir returns the cache directory.
 func (s *Store) Dir() string { return s.dir }
+
+// ReadOnly reports whether the store was opened with OpenReadOnly.
+func (s *Store) ReadOnly() bool { return s.readOnly }
 
 // Path returns the entry file for a key (which need not exist).
 func (s *Store) Path(key string) string {
@@ -114,6 +221,9 @@ func (s *Store) Path(key string) string {
 // a renamed file) returns (zero, false, err) so the caller can log the
 // discard — both are misses, and Put later heals the slot.
 func (s *Store) Get(key string) (Entry, bool, error) {
+	if !ValidKey(key) {
+		return Entry{}, false, fmt.Errorf("store: malformed key %q", key)
+	}
 	data, err := os.ReadFile(s.Path(key))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -134,38 +244,21 @@ func (s *Store) Get(key string) (Entry, bool, error) {
 	return e, true, nil
 }
 
-// Put files the result of one executed spec under key, atomically:
-// the entry is complete on disk before it becomes visible, and a
-// re-put of the same key (a healed corrupt slot, a racing worker with
-// the identical result) simply replaces it.
-func (s *Store) Put(key string, spec bench.RunSpec, pt bench.Point, wallNS int64) error {
-	e := Entry{
-		Schema:       Schema,
-		Key:          key,
-		Figure:       spec.FigID,
-		Scenario:     spec.Scenario,
-		App:          spec.AppIdentity(),
-		Machine:      spec.MachineIdentity(),
-		Series:       spec.Series,
-		X:            spec.X,
-		Nodes:        spec.Nodes,
-		Warmup:       spec.Warmup,
-		Iters:        spec.Iters,
-		Seed:         spec.Seed,
-		Jitter:       spec.Jitter,
-		Value:        pt.Value,
-		Meta:         pt.Meta,
-		MaxLinkUtil:  pt.MaxLinkUtil,
-		MeanLinkUtil: pt.MeanLinkUtil,
-		WallNS:       wallNS,
+// Put files an entry under its own key, atomically: the entry is
+// complete on disk before it becomes visible, and a re-put of the same
+// key (a healed corrupt slot, a racing worker with the identical
+// result) simply replaces it — entries are content-addressed, so
+// concurrent writers of the same key are writing the same result and
+// last-rename-wins is conflict-free. Build entries with NewEntry;
+// foreign ones are gated by Entry.Validate.
+func (s *Store) Put(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
 	}
-	// The cached point's x coordinate must round-trip: Entry.Point
-	// rebuilds it from X, so a spec whose point disagrees with its own
-	// x cell would corrupt reassembly on the next hit.
-	if pt.Nodes != spec.X {
-		return fmt.Errorf("store: spec %s produced a point at x=%d; refusing to cache", spec.Name(), pt.Nodes)
+	if s.readOnly {
+		return fmt.Errorf("store: put %s: %w", e.Key, ErrReadOnly)
 	}
-	path := s.Path(key)
+	path := s.Path(e.Key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -174,7 +267,7 @@ func (s *Store) Put(key string, spec bench.RunSpec, pt bench.Point, wallNS int64
 		return fmt.Errorf("store: %w", err)
 	}
 	data = append(data, '\n')
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+"-*")
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+e.Key+"-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}

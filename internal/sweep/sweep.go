@@ -30,14 +30,25 @@ type Options struct {
 	Overrides bench.Overrides
 	// Progress, if non-nil, receives one line per completed run.
 	Progress io.Writer
-	// Store, if non-nil, is the content-addressed run cache: every
+	// Cache, if non-nil, is the content-addressed run cache: every
 	// spec is looked up by fingerprint before simulating, and every
 	// simulated (or resumed) result is written through. Assembly order
 	// is unchanged, so cached sweeps stay byte-identical to cold ones.
-	Store *store.Store
+	// Any Cache implementation slots in here — the local disk store
+	// (*store.Store), a shared sweepd service (remote.Client), or the
+	// two stacked (Tiered).
+	Cache Cache
 	// Prior, if non-nil, supplies results from a previous (possibly
 	// partial) report: matching specs are not simulated. See NewPrior.
 	Prior *Prior
+	// Notify, if non-nil, is called once per completed run, as soon as
+	// its point is final — before the sweep finishes or assembles.
+	// This is the streaming hook: cmd/sweep uses it to publish per-run
+	// completions to a sweepd watch stream. Calls arrive concurrently
+	// from worker goroutines, in completion (not spec) order; Notify
+	// must not block for long — it stalls one worker — and has no way
+	// to alter the run.
+	Notify func(Run)
 }
 
 func (o Options) workers() int {
@@ -226,9 +237,11 @@ func Sweep(ids []string, opt Options) (Result, error) {
 		pt, src := bench.Point{}, SourceSim
 		var hit PriorHit
 		var simWallNS int64
-		if opt.Store != nil {
-			e, ok, err := opt.Store.Get(key)
+		if opt.Cache != nil {
+			e, ok, err := opt.Cache.Get(key)
 			if err != nil {
+				// A hit can arrive with an error (e.g. Tiered failing to
+				// seed its local tier): use the hit, log the problem.
 				complain(err)
 			}
 			if ok {
@@ -254,14 +267,20 @@ func Sweep(ids []string, opt Options) (Result, error) {
 		// cases, so nothing is clobbered. Metadata-matched v1/v2 resume
 		// hits stay out of the store: they were not verified against
 		// the fingerprint they would be filed under.
-		if opt.Store != nil && (src == SourceSim || (src == SourcePrior && hit.Exact)) {
-			if err := opt.Store.Put(key, spec, pt, simWallNS); err != nil {
+		if opt.Cache != nil && (src == SourceSim || (src == SourcePrior && hit.Exact)) {
+			if e, err := store.NewEntry(key, spec, pt, simWallNS); err != nil {
+				complain(err)
+			} else if err := opt.Cache.Put(e); err != nil {
 				complain(err)
 			}
 		}
 
 		verified := src != SourcePrior || hit.Exact
-		runs[fig][si] = Run{Spec: spec, Point: pt, Key: key, Source: src, Wall: wall, SimWallNS: simWallNS, Verified: verified}
+		run := Run{Spec: spec, Point: pt, Key: key, Source: src, Wall: wall, SimWallNS: simWallNS, Verified: verified}
+		runs[fig][si] = run
+		if opt.Notify != nil {
+			opt.Notify(run)
+		}
 		if opt.Progress != nil {
 			tag := ""
 			if pt.MaxLinkUtil > 0 {

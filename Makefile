@@ -99,19 +99,25 @@ sweepd-smoke:
 	@echo "sweepd-smoke: warm remote sweep served entirely from sweepd, byte-identical; watch stream live"
 
 # Scenario registry smoke: the registry must list (with the topology
-# column), a non-Summit, non-Jacobi composition must run end to end,
-# and one tapered-fabric run must execute and emit its link-utilization
-# provenance in the v3 JSON.
+# and routing columns), a non-Summit, non-Jacobi composition must run
+# end to end, one tapered-fabric run must emit its link-utilization
+# provenance in the v3 JSON, and one adaptive-routing run must emit its
+# routing provenance.
 scenario-smoke:
 	@$(GO) build -o /tmp/gat-sweep ./cmd/sweep
 	@/tmp/gat-sweep -list | grep -q minimd-frontier
 	@/tmp/gat-sweep -list | grep -q "dragonfly 2:1"
+	@/tmp/gat-sweep -list | grep -q adaptive
+	@/tmp/gat-sweep -list | grep -q slimfly
 	@/tmp/gat-sweep -scenario minimd-frontier -maxnodes 2 -iters 4 -j 2 -json > $(SMOKE_OUT)/scenario-smoke.json
 	@/tmp/gat-sweep -scenario scaling -app ring -machine perlmutter -maxnodes 2 -iters 4 > /dev/null
 	@/tmp/gat-sweep -scenario jacobi-taper -maxnodes 36 -iters 2 -warmup 1 -j 4 -json > $(SMOKE_OUT)/taper-smoke.json
 	@grep -q max_link_util $(SMOKE_OUT)/taper-smoke.json || \
 		{ echo "scenario-smoke: tapered run reported no fabric-link utilization"; exit 1; }
-	@echo "scenario-smoke: registry lists; non-Summit and tapered-fabric scenarios run"
+	@/tmp/gat-sweep -scenario jacobi-adaptive-vs-minimal -maxnodes 48 -iters 2 -warmup 1 -j 4 -json > $(SMOKE_OUT)/routing-smoke.json
+	@grep -q '"routing"' $(SMOKE_OUT)/routing-smoke.json || \
+		{ echo "scenario-smoke: adaptive-routing run reported no routing provenance"; exit 1; }
+	@echo "scenario-smoke: registry lists; non-Summit, tapered-fabric and adaptive-routing scenarios run"
 
 # Claims smoke: all seven C1-C7 checks must execute and report at
 # reduced scale; their verdicts are advisory there (-smoke exits 0).

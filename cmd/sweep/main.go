@@ -75,6 +75,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "run store directory (implies -cache; default: user cache dir /gat/sweep)")
 	remoteURL := flag.String("remote", "", "sweepd base URL (e.g. http://cachehost:8344); composes with -cache as a tiered store")
 	sweepID := flag.String("sweep-id", "", "publish each completed run to the sweepd under this id, feeding its /v1/watch stream (requires -remote)")
+	remoteToken := flag.String("remote-token", os.Getenv("SWEEPD_TOKEN"), "bearer token for a sweepd started with -token (default $SWEEPD_TOKEN)")
 	resume := flag.String("resume", "", "reuse results from a previous gat-sweep JSON report; only missing/failed runs are simulated")
 	explain := flag.Bool("explain", false, "print the per-run provenance table (simulated vs cached, keys) to stderr")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
@@ -132,7 +133,7 @@ func main() {
 		fatalf("-sweep-id needs -remote: run publication goes to the sweepd server")
 	}
 	if *remoteURL != "" {
-		rc, err := remote.Open(*remoteURL)
+		rc, err := remote.Open(*remoteURL, remote.WithToken(*remoteToken))
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -272,11 +273,12 @@ func listScenarios(w *os.File) {
 		fmt.Fprintf(w, "  %-10s variants: %v\n", a.Name(), a.Variants())
 	}
 	fmt.Fprintf(w, "\nmachine profiles (-machine):\n")
-	fmt.Fprintf(w, "  %-21s %-14s %s\n", "PROFILE", "TOPOLOGY", "DESCRIPTION")
+	fmt.Fprintf(w, "  %-29s %-14s %-9s %s\n", "PROFILE", "TOPOLOGY", "ROUTING", "DESCRIPTION")
 	for _, p := range machine.Profiles() {
-		// The topology/taper column comes from the built config (any
-		// node count: profiles are homogeneous in geometry).
-		fmt.Fprintf(w, "  %-21s %-14s %s\n", p.Name, p.Build(2).TopologySummary(), p.Description)
+		// The topology/taper and routing columns come from the built
+		// config (any node count: profiles are homogeneous in geometry).
+		cfg := p.Build(2)
+		fmt.Fprintf(w, "  %-29s %-14s %-9s %s\n", p.Name, cfg.TopologySummary(), cfg.RoutingSummary(), p.Description)
 	}
 }
 

@@ -15,8 +15,12 @@
 //	sweep -fig all -remote http://cachehost:8344 -sweep-id nightly
 //	curl -N http://cachehost:8344/v1/watch/nightly   # stream results
 //
-// sweepd is trusted-network-only in v1: no auth, no TLS. See the
-// endpoint table in README "Sweep as a service".
+// Access control is a single shared bearer token: start with -token
+// (or SWEEPD_TOKEN) and every endpoint except GET /healthz requires
+// "Authorization: Bearer <token>"; workers pass the same value via
+// `sweep -remote-token`. No TLS — pair the token with network
+// isolation or a TLS-terminating proxy. See the endpoint table in
+// README "Sweep as a service".
 package main
 
 import (
@@ -37,6 +41,7 @@ func main() {
 	dir := flag.String("dir", "", "run-store directory to serve (created unless -read-only; required)")
 	readOnly := flag.Bool("read-only", false, "serve lookups only: the directory must exist and every PUT answers 403")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts wrapping -addr :0)")
+	token := flag.String("token", os.Getenv("SWEEPD_TOKEN"), "bearer token required on every endpoint but /healthz (default $SWEEPD_TOKEN; empty = open server)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -56,7 +61,7 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "sweepd: ", log.LstdFlags)
-	srv := sweepd.New(st, logger.Printf)
+	srv := sweepd.New(st, logger.Printf, sweepd.WithToken(*token))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -74,6 +79,9 @@ func main() {
 	mode := "read-write"
 	if st.ReadOnly() {
 		mode = "read-only"
+	}
+	if *token != "" {
+		mode += ", token-auth"
 	}
 	logger.Printf("serving %s (%d entries, %s) on http://%s", st.Dir(), n, mode, bound)
 

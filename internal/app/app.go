@@ -69,6 +69,11 @@ type Metrics struct {
 	// run is network-bound: a taper sweep whose time grows with taper
 	// shows MaxLinkUtil approaching 1 on the shared links.
 	MaxLinkUtil, MeanLinkUtil float64
+	// Routing names the fabric's route-choice policy ("minimal",
+	// "valiant", "adaptive"; netsim.Network.RoutingName), empty on
+	// NIC-only machines. Provenance for congestion studies: which
+	// policy produced these utilization numbers.
+	Routing string
 }
 
 // App is one registered workload.

@@ -78,5 +78,6 @@ func fromResult(r jacobi.Result) Metrics {
 		NetMsgs:      r.NetMsgs,
 		MaxLinkUtil:  r.MaxLinkUtil,
 		MeanLinkUtil: r.MeanLinkUtil,
+		Routing:      r.Routing,
 	}
 }

@@ -172,5 +172,6 @@ func systemMetrics(m *machine.Machine, total sim.Time, steps int) Metrics {
 		NetMsgs:      m.Net.Messages(),
 		MaxLinkUtil:  maxU,
 		MeanLinkUtil: meanU,
+		Routing:      m.Net.RoutingName(),
 	}
 }

@@ -78,6 +78,12 @@ type Point struct {
 	// They never enter rendered tables or CSV, so figure bytes are
 	// unchanged; zero on NIC-only machines.
 	MaxLinkUtil, MeanLinkUtil float64
+	// Routing names the routing policy the run's fabric used
+	// ("minimal", "valiant", "adaptive"; empty on NIC-only machines).
+	// Like the utilization fields it is provenance only — the
+	// gat-sweep-v3 report and the run store carry it, rendered tables
+	// and CSV never do.
+	Routing string
 }
 
 // Series is one line of a figure.

@@ -30,13 +30,16 @@ func registerExtraScenarios() {
 	// axis must reach 32 for any transfer to cross a global link.
 	RegisterScenario(minimdLBScenario("minimd-dragonfly", "frontier-dragonfly", 32))
 	RegisterScenario(jacobiExascaleScenario())
+	registerRoutingScenarios()
 }
 
-// congested copies the run's fabric-link congestion summary onto its
-// figure point (zeros on NIC-only machines), so per-run reports say
-// where a point was network-bound.
+// congested copies the run's fabric-link congestion summary and
+// routing policy onto its figure point (zeros/empty on NIC-only
+// machines), so per-run reports say where a point was network-bound
+// and which route-choice policy made it so.
 func congested(p Point, r app.Metrics) Point {
 	p.MaxLinkUtil, p.MeanLinkUtil = r.MaxLinkUtil, r.MeanLinkUtil
+	p.Routing = r.Routing
 	return p
 }
 

@@ -191,7 +191,7 @@ func RunExa(cfg machine.Config, jc Config, opts ExaOpts) ExaResult {
 	if podSize <= 0 {
 		podSize = 18 // netsim.New's default
 	}
-	topo, err := netsim.TopologyByName(cfg.Net.Topology, podSize)
+	topo, err := netsim.TopologyByName(cfg.Net.Topology, podSize, nNodes)
 	if err != nil {
 		panic(err) // Validate accepted it above
 	}

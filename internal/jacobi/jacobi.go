@@ -145,6 +145,9 @@ type Result struct {
 	// link utilization over the run (zero on NIC-only machines) — the
 	// congestion signal of taper studies.
 	MaxLinkUtil, MeanLinkUtil float64
+	// Routing names the fabric's routing policy (empty on NIC-only
+	// machines) — provenance for the utilization numbers above.
+	Routing string
 }
 
 func (r Result) String() string {

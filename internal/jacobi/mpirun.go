@@ -198,6 +198,7 @@ func result(m *machine.Machine, perIter sim.Time) Result {
 		NetMsgs:      m.Net.Messages(),
 		MaxLinkUtil:  maxU,
 		MeanLinkUtil: meanU,
+		Routing:      m.Net.RoutingName(),
 	}
 }
 

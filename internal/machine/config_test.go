@@ -57,7 +57,8 @@ func TestValidateFabricSection(t *testing.T) {
 		{"negative taper", func(c *Config) { c.Fabric = &netsim.FabricConfig{Taper: -2} }},
 		{"negative links", func(c *Config) { c.Fabric = &netsim.FabricConfig{Taper: 2, UplinksPerPod: -1} }},
 		{"negative overhead", func(c *Config) { c.Fabric = &netsim.FabricConfig{Taper: 2, LinkOverhead: -5} }},
-		{"unknown topology", func(c *Config) { c.Net.Topology = "torus" }},
+		{"unknown topology", func(c *Config) { c.Net.Topology = "hypercube" }},
+		{"unknown routing", func(c *Config) { c.Fabric = &netsim.FabricConfig{Taper: 2, Routing: "teleport"} }},
 	}
 	for _, c := range cases {
 		cfg := base

@@ -70,10 +70,13 @@ func (c Config) Validate() error {
 	if podSize <= 0 {
 		podSize = 1 // netsim.New defaults it; only the name matters here
 	}
-	if _, err := netsim.TopologyByName(c.Net.Topology, podSize); err != nil {
+	if _, err := netsim.TopologyByName(c.Net.Topology, podSize, c.Nodes); err != nil {
 		return fmt.Errorf("machine: %w", err)
 	}
 	if f := c.Fabric; f != nil {
+		if err := netsim.ValidRouting(f.Routing); err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
 		switch {
 		case f.UplinkBW < 0:
 			return fmt.Errorf("machine: Fabric.UplinkBW must not be negative, got %g", f.UplinkBW)
@@ -105,6 +108,19 @@ func (c Config) TopologySummary() string {
 		return fmt.Sprintf("%s %g:1", name, c.Fabric.Taper)
 	}
 	return name + " fabric"
+}
+
+// RoutingSummary names the configured routing policy, e.g. "minimal"
+// or "adaptive" — the routing column of profile listings. Without a
+// detailed fabric there is no route choice to make, so it reports "-".
+func (c Config) RoutingSummary() string {
+	if c.Fabric == nil {
+		return "-"
+	}
+	if c.Fabric.Routing == "" {
+		return netsim.RoutingMinimal
+	}
+	return c.Fabric.Routing
 }
 
 // Machine is an instantiated cluster on a fresh simulation engine.

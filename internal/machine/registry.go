@@ -141,6 +141,28 @@ func init() {
 		Version:     1,
 		Build:       dragonflyVariant(Frontier, 2),
 	})
+	// Routing/topology-zoo variants: route choice is part of the cost
+	// model, so each routed profile carries its own Version — retuning
+	// the adaptive policy (candidate count, penalty half-life) means
+	// bumping that profile's Version, invalidating only its cached runs.
+	RegisterProfile(Profile{
+		Name:        "perlmutter-dragonfly-adaptive",
+		Description: "perlmutter-dragonfly with adaptive (occupancy+penalty) routing",
+		Version:     1,
+		Build:       withRouting(dragonflyVariant(Perlmutter, 2), netsim.RoutingAdaptive),
+	})
+	RegisterProfile(Profile{
+		Name:        "frontier-slimfly",
+		Description: "Frontier-like on a diameter-2 slim-fly group graph (2:1 taper, illustrative)",
+		Version:     1,
+		Build:       topologyVariant(Frontier, netsim.TopoSlimFly, 2, 2),
+	})
+	RegisterProfile(Profile{
+		Name:        "summit-torus",
+		Description: "Summit cost model on a 3-D torus of cabinets (dimension-order routes)",
+		Version:     1,
+		Build:       topologyVariant(Summit, netsim.TopoTorus, 2, 3),
+	})
 }
 
 // taperedFatTree wraps a base profile builder with a detailed fat-tree
@@ -163,6 +185,26 @@ func dragonflyVariant(base func(int) Config, taper float64) func(int) Config {
 		cfg := base(nodes)
 		cfg.Net.Topology = netsim.TopoDragonfly
 		cfg.Fabric = &netsim.FabricConfig{Taper: taper, UplinksPerPod: 2}
+		return cfg
+	}
+}
+
+// topologyVariant wraps a base profile builder with an alternative
+// switch geometry and a detailed fabric tapered by the given ratio.
+func topologyVariant(base func(int) Config, topo string, taper float64, uplinks int) func(int) Config {
+	return func(nodes int) Config {
+		cfg := base(nodes)
+		cfg.Net.Topology = topo
+		cfg.Fabric = &netsim.FabricConfig{Taper: taper, UplinksPerPod: uplinks}
+		return cfg
+	}
+}
+
+// withRouting overrides the routing policy of a fabric-backed builder.
+func withRouting(build func(int) Config, routing string) func(int) Config {
+	return func(nodes int) Config {
+		cfg := build(nodes)
+		cfg.Fabric.Routing = routing
 		return cfg
 	}
 }

@@ -29,10 +29,22 @@ func PathLatency(cfg Config, topo Topology, a, b int) sim.Time {
 // worth of groups), which callers must treat as "no lookahead window"
 // rather than a zero-width one.
 //
-// The scan is O(nodes): both built-in geometries price every same-group
-// pair alike and every cross-group pair alike (CrossGroupHops), so the
-// minimum is decided by whether the partition splits a group, not by
-// which pair it splits.
+// The scan is O(nodes): every geometry prices same-group pairs alike,
+// and CrossGroupHops is by contract the geometry's *minimum*
+// cross-group hop distance (the fat tree and dragonfly price every
+// cross-group pair at it; the torus and slim fly only their adjacent
+// groups), so the minimum is decided by whether the partition splits a
+// group, not by which pair it splits.
+//
+// The bound also holds under every routing policy, not just minimal:
+// a Router may lengthen a route (Valiant detours, adaptive escapes)
+// but never shorten it below the topology's minimal path, because
+// non-minimal group paths traverse at least as many inter-group edges
+// and hopsForEdges is strictly increasing — so the shortest *possible*
+// route, which this function prices, stays the conservative floor.
+// TestRoutingNeverUndercutsLookahead pins the invariant for every
+// topology × routing pair; internal/pdes's serial-vs-sharded
+// byte-equality depends on it.
 func MinCrossLatency(cfg Config, topo Topology, nodes int, shardOf func(node int) int) sim.Time {
 	if nodes < 2 || shardOf == nil {
 		return 0
@@ -65,7 +77,8 @@ func MinCrossLatency(cfg Config, topo Topology, nodes int, shardOf func(node int
 		// intra-node) path is the binding latency.
 		return PathLatency(cfg, topo, splitA, splitB)
 	}
-	// Group-aligned partition: every cross-shard pair is cross-group.
+	// Group-aligned partition: every cross-shard pair is cross-group,
+	// and no such pair is closer than the adjacent-group distance.
 	h := topo.CrossGroupHops()
 	return cfg.LatencyBase + sim.Time(h-1)*cfg.LatencyPerHop
 }

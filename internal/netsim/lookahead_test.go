@@ -16,10 +16,10 @@ func lookaheadCfg() Config {
 // instantiated jitter-free network for every pair of a two-pod cluster,
 // on both geometries.
 func TestPathLatencyMatchesNetwork(t *testing.T) {
-	for _, name := range []string{TopoFatTree, TopoDragonfly} {
+	for _, name := range []string{TopoFatTree, TopoDragonfly, TopoTorus, TopoSlimFly} {
 		cfg := lookaheadCfg()
 		cfg.Topology = name
-		topo, err := TopologyByName(name, cfg.PodSize)
+		topo, err := TopologyByName(name, cfg.PodSize, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,8 +38,8 @@ func TestCrossGroupHops(t *testing.T) {
 	for _, c := range []struct {
 		name string
 		want int
-	}{{TopoFatTree, 4}, {TopoDragonfly, 3}} {
-		topo, err := TopologyByName(c.name, 4)
+	}{{TopoFatTree, 4}, {TopoDragonfly, 3}, {TopoTorus, 3}, {TopoSlimFly, 3}} {
+		topo, err := TopologyByName(c.name, 4, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func TestCrossGroupHops(t *testing.T) {
 func TestMinCrossLatency(t *testing.T) {
 	cfg := lookaheadCfg()
 	cfg.Topology = TopoDragonfly
-	topo, err := TopologyByName(cfg.Topology, cfg.PodSize)
+	topo, err := TopologyByName(cfg.Topology, cfg.PodSize, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

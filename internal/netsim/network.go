@@ -49,7 +49,9 @@ type Config struct {
 	// Topology selects the switch geometry by registry name
 	// (TopologyByName): "" or "fattree" is the two-level fat tree the
 	// calibrated Summit model always used; "dragonfly" models
-	// group-local vs. global links for Slingshot-class machines.
+	// group-local vs. global links for Slingshot-class machines;
+	// "torus" a 3-D torus of cabinets with dimension-order minimal
+	// routes; "slimfly" a diameter-2 slim-fly-style group graph.
 	Topology string
 	// JitterFrac, when positive, perturbs each transfer's latency by a
 	// uniform ±fraction drawn from a seeded RNG. It models the
@@ -124,7 +126,7 @@ func New(e *sim.Engine, cfg Config, nodes int) *Network {
 	if cfg.PodSize <= 0 {
 		cfg.PodSize = 18
 	}
-	topo, err := TopologyByName(cfg.Topology, cfg.PodSize)
+	topo, err := TopologyByName(cfg.Topology, cfg.PodSize, nodes)
 	if err != nil {
 		panic(err)
 	}
@@ -215,6 +217,31 @@ func (n *Network) Latency(a, b int) sim.Time {
 // RTT returns the round-trip latency, used for rendezvous handshakes.
 func (n *Network) RTT(a, b int) sim.Time { return 2 * n.Latency(a, b) }
 
+// latencyForHops prices a route of the given switch hop count under
+// the α–β model, including the jitter draw when enabled — the same
+// pricing Latency applies to minimal paths, generalized to the routes
+// non-minimal policies return.
+func (n *Network) latencyForHops(h int) sim.Time {
+	base := n.cfg.IntraNodeLatency
+	if h > 0 {
+		base = n.cfg.LatencyBase + sim.Time(h-1)*n.cfg.LatencyPerHop
+	}
+	if n.rng != nil {
+		return n.rng.Jitter(base, n.cfg.JitterFrac)
+	}
+	return base
+}
+
+// RoutingName returns the active routing policy's registry name
+// ("minimal", "valiant", "adaptive"), or "" when no detailed fabric is
+// attached — the provenance string experiment reports carry per run.
+func (n *Network) RoutingName() string {
+	if n.fabric == nil {
+		return ""
+	}
+	return n.fabric.router.Name()
+}
+
 // countOp defers the Messages/BytesMoved accounting of an intra-node
 // transfer until its ready signal fires.
 type countOp struct {
@@ -250,14 +277,21 @@ func xferOpStart(_ *sim.Engine, arg unsafe.Pointer) {
 	n.messages++
 	n.bytes += bytes
 	txStart, _ := n.nics[src].TX.Reserve(n.eng.Now(), bytes)
-	rxEarliest := txStart + n.Latency(src, dst)
-	var downEnd sim.Time
+	var rxEarliest, downEnd sim.Time
 	if n.fabric != nil && n.topo.Group(src) != n.topo.Group(dst) {
+		// Route choice happens here, at fire time, so adaptive policies
+		// see the congestion this message would actually meet. The
+		// route's hop count prices the wire latency (identical to
+		// n.Latency for minimal routes, so pre-Router timelines hold).
+		route := n.fabric.router.Route(src, dst)
+		rxEarliest = txStart + n.latencyForHops(route.Hops)
 		var downStart sim.Time
-		downStart, downEnd = n.fabric.reserve(n, src, dst, bytes, txStart)
+		downStart, downEnd = n.fabric.reserve(route, src, dst, bytes, txStart)
 		if e := downStart + n.cfg.LatencyPerHop; e > rxEarliest {
 			rxEarliest = e
 		}
+	} else {
+		rxEarliest = txStart + n.Latency(src, dst)
 	}
 	_, rxEnd := n.nics[dst].RX.Reserve(rxEarliest, bytes)
 	if e := downEnd + n.cfg.LatencyPerHop; e > rxEnd {

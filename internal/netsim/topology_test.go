@@ -8,8 +8,8 @@ import (
 )
 
 func TestTopologyByName(t *testing.T) {
-	for _, name := range []string{"", TopoFatTree, TopoDragonfly} {
-		topo, err := TopologyByName(name, 4)
+	for _, name := range []string{"", TopoFatTree, TopoDragonfly, TopoTorus, TopoSlimFly} {
+		topo, err := TopologyByName(name, 4, 16)
 		if err != nil {
 			t.Fatalf("TopologyByName(%q): %v", name, err)
 		}
@@ -17,13 +17,13 @@ func TestTopologyByName(t *testing.T) {
 			t.Fatalf("TopologyByName(%q).Name() = %q", name, topo.Name())
 		}
 	}
-	if topo, _ := TopologyByName("", 4); topo.Name() != TopoFatTree {
+	if topo, _ := TopologyByName("", 4, 16); topo.Name() != TopoFatTree {
 		t.Fatalf("empty topology name should default to %s, got %s", TopoFatTree, topo.Name())
 	}
-	if _, err := TopologyByName("torus", 4); err == nil || !strings.Contains(err.Error(), "torus") {
+	if _, err := TopologyByName("hypercube", 4, 16); err == nil || !strings.Contains(err.Error(), "hypercube") {
 		t.Fatalf("unknown topology should error naming it, got %v", err)
 	}
-	if _, err := TopologyByName(TopoFatTree, 0); err == nil {
+	if _, err := TopologyByName(TopoFatTree, 0, 16); err == nil {
 		t.Fatal("zero group size should error")
 	}
 }
@@ -57,7 +57,7 @@ func TestUnknownTopologyPanics(t *testing.T) {
 			t.Error("unknown Config.Topology did not panic in New")
 		}
 	}()
-	New(sim.NewEngine(), Config{InjectionBW: 1e9, IntraNodeBW: 1e9, Topology: "torus"}, 2)
+	New(sim.NewEngine(), Config{InjectionBW: 1e9, IntraNodeBW: 1e9, Topology: "hypercube"}, 2)
 }
 
 func TestDragonflyFabricCongests(t *testing.T) {
@@ -133,26 +133,32 @@ func TestEnableFabricOddNodeCount(t *testing.T) {
 
 func TestFabricFlowHashingSpreadsLinks(t *testing.T) {
 	// With 4 parallel uplinks and many distinct (src, dst) flows, the
-	// hash must actually use more than one link per pod.
-	e := sim.NewEngine()
-	cfg := testConfig()
-	cfg.PodSize = 8
-	n := New(e, cfg, 16)
-	fc := fabricConfig()
-	fc.UplinksPerPod = 4
-	f := n.EnableFabric(fc)
-	for src := 0; src < 8; src++ {
-		n.Transfer(src, 8+src, 100, sim.FiredSignal())
-	}
-	e.Run()
-	busy := map[string]bool{}
-	for name, u := range f.Utilizations() {
-		if u > 0 && strings.Contains(name, "/up") {
-			busy[name] = true
-		}
-	}
-	if len(busy) < 2 {
-		t.Fatalf("8 distinct flows used %d of 4 uplinks; hashing does not spread", len(busy))
+	// hash must actually use more than one link per group — on every
+	// topology's link set, since each builds its own claim sequence.
+	for _, topo := range []string{TopoFatTree, TopoDragonfly, TopoTorus, TopoSlimFly} {
+		t.Run(topo, func(t *testing.T) {
+			e := sim.NewEngine()
+			cfg := testConfig()
+			cfg.PodSize = 8
+			cfg.Topology = topo
+			n := New(e, cfg, 16)
+			fc := fabricConfig()
+			fc.UplinksPerPod = 4
+			f := n.EnableFabric(fc)
+			for src := 0; src < 8; src++ {
+				n.Transfer(src, 8+src, 100, sim.FiredSignal())
+			}
+			e.Run()
+			busy := map[string]bool{}
+			for name, u := range f.Utilizations() {
+				if u > 0 && strings.Contains(name, "/up") {
+					busy[name] = true
+				}
+			}
+			if len(busy) < 2 {
+				t.Fatalf("%s: 8 distinct flows used %d of 4 uplinks; hashing does not spread", topo, len(busy))
+			}
+		})
 	}
 }
 

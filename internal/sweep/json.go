@@ -126,6 +126,11 @@ type ReportRun struct {
 	// Absent for runs on NIC-only machines and in pre-fabric documents.
 	MaxLinkUtil  float64 `json:"max_link_util,omitempty"`
 	MeanLinkUtil float64 `json:"mean_link_util,omitempty"`
+
+	// Routing names the fabric's route-choice policy ("minimal",
+	// "valiant", "adaptive"; bench.Point). Absent for runs on NIC-only
+	// machines and in pre-routing documents.
+	Routing string `json:"routing,omitempty"`
 }
 
 // keyIfVerified returns the run's fingerprint only when the value is
@@ -169,6 +174,7 @@ func (run Run) Record() ReportRun {
 		Jitter:       run.Spec.Jitter,
 		MaxLinkUtil:  run.Point.MaxLinkUtil,
 		MeanLinkUtil: run.Point.MeanLinkUtil,
+		Routing:      run.Point.Routing,
 	}
 }
 

@@ -90,6 +90,7 @@ func NewPrior(rep *Report) *Prior {
 				pr.pt = bench.Point{
 					Nodes: run.X, Value: run.Value, Meta: run.Meta,
 					MaxLinkUtil: run.MaxLinkUtil, MeanLinkUtil: run.MeanLinkUtil,
+					Routing: run.Routing,
 				}
 				p.byKey[run.Key] = pr
 				continue

@@ -43,6 +43,14 @@ import (
 // like any other cache error — complain once, simulate.
 var ErrUnavailable = errors.New("remote cache marked unavailable after repeated failures")
 
+// ErrUnauthorized reports a 401 from a token-protected sweepd: the
+// client's token (possibly absent) was rejected. Like every 4xx it is
+// never retried — the same bytes would be refused again — but it gets
+// its own sentinel so the orchestrator can say "fix -remote-token"
+// instead of a generic cache complaint. The exchange itself completed,
+// so a 401 feeds the breaker as proof of life, not failure.
+var ErrUnauthorized = errors.New("remote cache rejected the bearer token")
+
 // Option configures a Client.
 type Option func(*Client)
 
@@ -61,10 +69,16 @@ func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = 
 // breaker (default 3, minimum 1).
 func WithDownAfter(n int) Option { return func(c *Client) { c.downAfter = max(1, n) } }
 
+// WithToken sends "Authorization: Bearer <token>" on every request,
+// matching a sweepd started with -token. An empty token sends no
+// header (the open-server default).
+func WithToken(token string) Option { return func(c *Client) { c.token = token } }
+
 // Client is a sweep.Cache backed by a sweepd server.
 type Client struct {
 	base      string
 	hc        *http.Client
+	token     string
 	attempts  int
 	backoff   time.Duration
 	downAfter int
@@ -164,6 +178,9 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if c.token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.token)
+		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			c.recordExchange(false)
@@ -174,6 +191,12 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 			continue
 		}
 		c.recordExchange(true)
+		if resp.StatusCode == http.StatusUnauthorized {
+			// A completed exchange (breaker already fed above), mapped to
+			// the sentinel here so every caller gets it uniformly.
+			drain(resp)
+			return nil, fmt.Errorf("remote: %s %s: %w", method, path, ErrUnauthorized)
+		}
 		if retryable(resp.StatusCode) && attempt+1 < c.attempts {
 			lastErr = fmt.Errorf("remote: %s %s: server error %d", method, path, resp.StatusCode)
 			drain(resp)

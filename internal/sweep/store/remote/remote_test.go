@@ -258,3 +258,57 @@ func TestPublishRunAndHealthz(t *testing.T) {
 		t.Fatalf("published run not visible in snapshot: %s", buf[:n])
 	}
 }
+
+// TestTokenRoundTripAndUnauthorized: a tokened client works against a
+// tokened sweepd end to end; a missing or wrong token maps every call
+// to ErrUnauthorized without retries and without tripping the breaker
+// (the server answered — it is alive, just unpersuaded).
+func TestTokenRoundTripAndUnauthorized(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(sweepd.New(st, t.Logf, sweepd.WithToken("hunter2")))
+	t.Cleanup(ts.Close)
+
+	good, err := remote.Open(ts.URL, fast(remote.WithToken("hunter2"))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, key := cachetest.TestSpec(t)
+	e, err := store.NewEntry(key, spec, bench.Point{Nodes: spec.X, Value: 4.5, Routing: "adaptive"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	back, ok, err := good.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("tokened Get = (%v, %v), want a hit", ok, err)
+	}
+	if back.Routing != "adaptive" {
+		t.Fatalf("entry routing did not round-trip: got %q", back.Routing)
+	}
+
+	bad, err := remote.Open(ts.URL, fast(remote.WithToken("wrong"), remote.WithAttempts(1), remote.WithDownAfter(1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bad.Get(key); !errors.Is(err, remote.ErrUnauthorized) {
+		t.Fatalf("Get with wrong token = %v, want errors.Is(_, ErrUnauthorized)", err)
+	}
+	if err := bad.Put(e); !errors.Is(err, remote.ErrUnauthorized) {
+		t.Fatalf("Put with wrong token = %v, want errors.Is(_, ErrUnauthorized)", err)
+	}
+	if err := bad.PublishRun("nightly", sweep.ReportRun{Figure: "f", Series: "s"}); !errors.Is(err, remote.ErrUnauthorized) {
+		t.Fatalf("PublishRun with wrong token = %v, want errors.Is(_, ErrUnauthorized)", err)
+	}
+	if bad.Down() {
+		t.Fatal("401s tripped the breaker; completed exchanges must count as proof of life")
+	}
+	// Healthz is exempt server-side, so even the tokenless client sees it.
+	if err := bad.Healthz(); err != nil {
+		t.Fatalf("healthz with wrong token = %v, want nil (endpoint is auth-exempt)", err)
+	}
+}

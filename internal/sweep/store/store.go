@@ -70,6 +70,7 @@ type Entry struct {
 	Meta         string  `json:"meta,omitempty"`
 	MaxLinkUtil  float64 `json:"max_link_util,omitempty"`
 	MeanLinkUtil float64 `json:"mean_link_util,omitempty"`
+	Routing      string  `json:"routing,omitempty"`
 
 	// WallNS is the host cost of the original simulation — what the
 	// hit saved. Metadata only.
@@ -106,6 +107,7 @@ func NewEntry(key string, spec bench.RunSpec, pt bench.Point, wallNS int64) (Ent
 		Meta:         pt.Meta,
 		MaxLinkUtil:  pt.MaxLinkUtil,
 		MeanLinkUtil: pt.MeanLinkUtil,
+		Routing:      pt.Routing,
 		WallNS:       wallNS,
 	}, nil
 }
@@ -115,6 +117,7 @@ func (e Entry) Point() bench.Point {
 	return bench.Point{
 		Nodes: e.X, Value: e.Value, Meta: e.Meta,
 		MaxLinkUtil: e.MaxLinkUtil, MeanLinkUtil: e.MeanLinkUtil,
+		Routing: e.Routing,
 	}
 }
 

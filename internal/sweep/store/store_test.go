@@ -45,7 +45,7 @@ func TestStoreMissThenHit(t *testing.T) {
 		t.Fatalf("empty store: Get = ok=%v err=%v, want miss with nil error", ok, err)
 	}
 
-	want := bench.Point{Nodes: spec.X, Value: 1.25, Meta: "ODF-2", MaxLinkUtil: 0.42, MeanLinkUtil: 0.17}
+	want := bench.Point{Nodes: spec.X, Value: 1.25, Meta: "ODF-2", MaxLinkUtil: 0.42, MeanLinkUtil: 0.17, Routing: "adaptive"}
 	if err := s.Put(mustEntry(t, key, spec, want, 42)); err != nil {
 		t.Fatal(err)
 	}

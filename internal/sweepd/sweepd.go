@@ -28,8 +28,13 @@
 //	GET  /v1/sweep/{id}            snapshot of registered runs (the list)
 //	GET  /v1/watch/{id}            NDJSON stream: replay, then live runs
 //
-// sweepd is deliberately trusted-network-only in v1: no auth, no TLS,
-// no tenant separation. Run it where you would run a shared NFS cache
+// Authentication is a single shared bearer token (WithToken / the
+// daemon's -token flag): when set, every endpoint except GET /healthz
+// requires "Authorization: Bearer <token>" and answers 401 otherwise.
+// That is deliberately coarse — one credential for the whole fleet,
+// no TLS, no tenant separation — enough to keep a sweepd on a lab
+// network from accepting writes from strangers, not a substitute for
+// network isolation. Run it where you would run a shared NFS cache
 // mount. It is presentation/transport code, not simulation code — it
 // lives outside the gatvet wallclock scope and may read the host
 // clock freely (timeouts, log timestamps); determinism is owed by the
@@ -38,11 +43,13 @@ package sweepd
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 
 	"gat/internal/sweep"
@@ -56,14 +63,24 @@ const maxBodyBytes = 8 << 20
 // Server is the sweepd HTTP handler: a store front end plus the sweep
 // registry. Create with New, mount via http.Server or httptest.
 type Server struct {
-	st   *store.Store
-	logf func(format string, args ...any)
+	st    *store.Store
+	logf  func(format string, args ...any)
+	token string
 
 	mu     sync.Mutex
 	sweeps map[string]*sweepState
 
 	mux *http.ServeMux
 }
+
+// Option configures a Server beyond its required store and logger.
+type Option func(*Server)
+
+// WithToken requires "Authorization: Bearer <token>" on every endpoint
+// except GET /healthz (so load-balancer liveness probes stay
+// credential-free). An empty token keeps the server open, matching the
+// pre-auth behaviour.
+func WithToken(token string) Option { return func(s *Server) { s.token = token } }
 
 // sweepState is one named sweep's registered run lines, append-only,
 // with a cond watchers wait on. Lines are stored re-marshaled
@@ -85,7 +102,7 @@ func newSweepState() *sweepState {
 // in the latter case every PUT answers 403 and the service is a pure
 // lookup + watch tier). logf receives one line per mutating or
 // anomalous request; pass nil to discard.
-func New(st *store.Store, logf func(format string, args ...any)) *Server {
+func New(st *store.Store, logf func(format string, args ...any), opts ...Option) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -94,6 +111,9 @@ func New(st *store.Store, logf func(format string, args ...any)) *Server {
 		logf:   logf,
 		sweeps: map[string]*sweepState{},
 		mux:    http.NewServeMux(),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/entry/{key}", s.handleEntryGet)
@@ -105,9 +125,33 @@ func New(st *store.Store, logf func(format string, args ...any)) *Server {
 	return s
 }
 
-// ServeHTTP dispatches to the v1 routes.
+// ServeHTTP checks the bearer token (when configured), then dispatches
+// to the v1 routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		// The WWW-Authenticate challenge names the scheme, never the
+		// expected credential.
+		w.Header().Set("WWW-Authenticate", `Bearer realm="sweepd"`)
+		clientError(w, http.StatusUnauthorized, "this sweepd requires Authorization: Bearer <token>")
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// authorized implements the bearer check. /healthz stays open so
+// probes and humans can tell "down" from "locked out"; it exposes only
+// liveness and an entry count. The comparison is constant-time — the
+// token is a shared secret, and an equality that bails on the first
+// wrong byte leaks its prefix to a timing probe.
+func (s *Server) authorized(r *http.Request) bool {
+	if s.token == "" || r.URL.Path == "/healthz" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(got), []byte(s.token)) == 1
 }
 
 // sweep returns (creating if needed) the named sweep's state. Watching

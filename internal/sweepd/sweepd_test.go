@@ -388,3 +388,63 @@ func TestConcurrentPutsThroughServer(t *testing.T) {
 		t.Fatalf("after racing PUTs: GET = %d: %s", resp.StatusCode, body)
 	}
 }
+
+// TestTokenAuth covers the bearer-token gate: without the right
+// credential every endpoint but /healthz answers 401 with a Bearer
+// challenge; with it the server behaves exactly like an open one.
+func TestTokenAuth(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(st, t.Logf, WithToken("hunter2")))
+	t.Cleanup(ts.Close)
+	e := testEntry(t)
+	body, _ := json.Marshal(&e)
+
+	authed := func(method, url string, body []byte, token string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, url, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(data)
+	}
+
+	// Missing and wrong tokens are rejected with a challenge.
+	for _, token := range []string{"", "hunter3"} {
+		resp, _ := authed(http.MethodPut, ts.URL+"/v1/entry/"+e.Key, body, token)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("PUT with token %q = %d, want 401", token, resp.StatusCode)
+		}
+		if got := resp.Header.Get("WWW-Authenticate"); !strings.HasPrefix(got, "Bearer") {
+			t.Fatalf("401 WWW-Authenticate = %q, want a Bearer challenge", got)
+		}
+	}
+	// A rejected PUT must not have touched the store.
+	if _, ok, _ := st.Get(e.Key); ok {
+		t.Fatal("unauthorized PUT reached the store")
+	}
+
+	// The right token passes and the entry round-trips.
+	if resp, msg := authed(http.MethodPut, ts.URL+"/v1/entry/"+e.Key, body, "hunter2"); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("authorized PUT = %d: %s", resp.StatusCode, msg)
+	}
+	if resp, msg := authed(http.MethodGet, ts.URL+"/v1/entry/"+e.Key, nil, "hunter2"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized GET = %d: %s", resp.StatusCode, msg)
+	}
+
+	// /healthz stays open for probes.
+	if resp, msg := authed(http.MethodGet, ts.URL+"/healthz", nil, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("unauthenticated healthz = %d: %s", resp.StatusCode, msg)
+	}
+}
